@@ -1,0 +1,64 @@
+"""Figure 5 — spatial maps: solver vs. surrogate vs. difference.
+
+The paper shows surface-level u, v, ζ maps of a 12-day forecast next
+to the ROMS truth and their difference.  Headless reproduction: the
+full-horizon dual-model forecast from a fixed initial condition, with
+per-variable field ranges, difference MAE/max, and pattern correlation
+over wet cells — the numbers the paper's colour maps encode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import compare_surface_fields, format_table
+
+from conftest import COARSE_EVERY, T
+
+HORIZON = T * COARSE_EVERY
+
+
+def test_fig5_report(env, capsys):
+    ref = env.test_windows(length=HORIZON)[0]
+    pred = env.dual.forecast(ref).fields
+    wet = env.ocean.solver.wet
+
+    t_final = HORIZON - 1
+    comps = compare_surface_fields(ref, pred, t=t_final, wet=wet)
+
+    rows = []
+    for c in comps:
+        rows.append([
+            c.variable,
+            f"[{c.ref_min:+.3f}, {c.ref_max:+.3f}]",
+            f"[{c.pred_min:+.3f}, {c.pred_max:+.3f}]",
+            f"{c.diff_mae:.4f}",
+            f"{c.diff_max:.4f}",
+            f"{c.pattern_corr:.3f}",
+        ])
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Var", "Solver range", "Surrogate range", "Diff MAE",
+             "Diff max", "Pattern corr"],
+            rows,
+            title=f"FIGURE 5 — surface fields at forecast step {t_final} "
+                  f"(paper shows u, v, ζ maps; w omitted as ~0, same here)"))
+
+    by_var = {c.variable: c for c in comps}
+    # the surrogate must capture the spatial pattern (positive corr) and
+    # its range must overlap the truth's
+    for var in ("u", "v", "zeta"):
+        c = by_var[var]
+        assert c.pattern_corr > 0.2, f"{var}: no spatial skill"
+        assert c.pred_min < c.ref_max and c.pred_max > c.ref_min
+
+    # w is ~0 everywhere (the paper omits its map for this reason)
+    assert np.abs(ref.w3[t_final]).max() < 0.05
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_forecast_rollout(env, benchmark):
+    ref = env.test_windows(length=HORIZON)[0]
+    benchmark.pedantic(lambda: env.dual.forecast(ref), rounds=2,
+                       iterations=1)

@@ -1,0 +1,82 @@
+"""Figure 6 — ζ time series at three estuary locations over the horizon.
+
+The paper plots solver vs. surrogate free-surface elevation at three
+locations for a 12-day forecast (576 half-hour steps).  Headless
+reproduction: the same comparison at three wet cells spread across the
+bench estuary over the 64-step dual-model horizon, reported as
+per-location RMSE, correlation, and amplitude ratio plus a decimated
+series table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import extract_series, format_table, series_skill
+from repro.workflow import FieldWindow
+
+from conftest import COARSE_EVERY, T
+
+HORIZON = T * COARSE_EVERY
+
+
+def _three_wet_locations(env):
+    """Three wet cells spread south → mid → north, as in the paper."""
+    wet = env.ocean.solver.wet
+    grid = env.ocean.grid
+    picks = []
+    for frac in (0.2, 0.5, 0.8):
+        j = int(frac * grid.ny)
+        wet_cols = np.flatnonzero(wet[j])
+        i = int(wet_cols[len(wet_cols) // 2])
+        picks.append(grid.lonlat(j, i)[::-1])   # (lat, lon)
+    return picks
+
+
+def test_fig6_report(env, capsys):
+    ref = env.test_windows(length=HORIZON)[0]
+    pred = env.dual.forecast(ref).fields
+    locations = _three_wet_locations(env)
+    series = extract_series(env.ocean.grid, ref, pred,
+                            locations=locations)
+
+    rows = []
+    for k, s in enumerate(series):
+        skill = series_skill(s)
+        rows.append([
+            f"Location {k + 1}",
+            f"{s.lat:.2f}N, {abs(s.lon):.2f}W",
+            f"{skill['rmse']:.4f}",
+            f"{skill['corr']:.3f}",
+            f"{skill['amp_ratio']:.3f}",
+        ])
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Location", "Position", "RMSE [m]", "Corr", "Amp ratio"],
+            rows,
+            title=f"FIGURE 6 — ζ series skill over {HORIZON} steps "
+                  f"(paper: close track over 576 steps at 3 locations)"))
+        # decimated series for the first location (the figure's panel b)
+        s = series[0]
+        step = max(1, HORIZON // 8)
+        print(format_table(
+            ["t", "solver ζ [m]", "surrogate ζ [m]"],
+            [[t, f"{s.reference[t]:+.3f}", f"{s.forecast[t]:+.3f}"]
+             for t in range(0, HORIZON, step)],
+            title="Location 1 series (decimated)"))
+
+    # the surrogate must track the tidal phase at every location
+    for s in series:
+        skill = series_skill(s)
+        assert skill["corr"] > 0.3, (
+            f"no phase skill at ({s.lat:.2f}, {s.lon:.2f})")
+        assert skill["rmse"] < 2.0 * s.reference.std() + 1e-6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_series_extraction(env, benchmark):
+    ref = env.test_windows(length=HORIZON)[0]
+    locations = _three_wet_locations(env)
+    benchmark(lambda: extract_series(env.ocean.grid, ref, ref,
+                                     locations=locations))

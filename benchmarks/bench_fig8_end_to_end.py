@@ -1,0 +1,107 @@
+"""Figure 8 — end-to-end hybrid workflow time and speedup vs threshold.
+
+Runs the verify-or-fallback workflow over the test horizon at a sweep
+of thresholds: strict thresholds force ROMS fallbacks (cost approaches
+the pure solver), loose thresholds approach pure-surrogate cost.  The
+measured pass rates also drive the paper-scale projection (cost model's
+512-core episode cost + the paper's 22.2 s surrogate), regenerating the
+1.8× → 446× speedup curve shape.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import format_table
+from repro.hpc import RomsPerfModel, RomsWorkload
+from repro.workflow import FieldWindow, HybridWorkflow
+
+from conftest import COARSE_EVERY, OCEAN, T
+
+N_EPISODES = 6
+HORIZON = N_EPISODES * T
+
+
+def _reference_with_states(env):
+    ocean = env.ocean
+    st = ocean.spinup(duration=0.5 * 86400.0)
+    snaps, states, _ = ocean.simulate_with_states(st, HORIZON, every=T)
+    x3, x2 = ocean.stack_fields(snaps)
+    window = FieldWindow(
+        np.moveaxis(x3[0], -1, 0), np.moveaxis(x3[1], -1, 0),
+        np.moveaxis(x3[2], -1, 0), np.moveaxis(x2[0], -1, 0))
+    return window, states
+
+
+def test_fig8_report(env, capsys):
+    window, states = _reference_with_states(env)
+    wf = HybridWorkflow(env.fine_forecaster, env.ocean, env.verifier)
+
+    # threshold sweep spanning the residual distribution
+    probe = []
+    for ep in range(N_EPISODES):
+        sl = slice(ep * T, (ep + 1) * T)
+        ref = FieldWindow(window.u3[sl], window.v3[sl], window.w3[sl],
+                          window.zeta[sl])
+        pred = env.fine_forecaster.forecast_episode(ref).fields
+        probe.append(env.verifier.verify(pred.zeta, pred.u3,
+                                         pred.v3).mean_residual)
+    thresholds = np.quantile(probe, [0.0, 0.33, 0.66, 1.0]) \
+        * [0.99, 1.0, 1.0, 1.01]
+
+    # pure-solver baseline for the same horizon
+    t0 = time.perf_counter()
+    env.ocean.forecast(states[0], HORIZON - 1)
+    solver_seconds = time.perf_counter() - t0
+
+    # paper-scale projection constants
+    perf = RomsPerfModel.calibrated_to_paper()
+    paper_wl = RomsWorkload((898, 598, 12), 12.0, 512)
+    paper_roms = perf.simulation_seconds(paper_wl)
+    paper_ai = 22.2
+    episode_days = 12.0 / N_EPISODES
+
+    rows = []
+    for thr in thresholds:
+        _, report = wf.run(window, states, threshold=float(thr))
+        measured = report.total_seconds
+        speedup = solver_seconds / measured
+        fail = report.n_fallbacks
+        projected = paper_ai + fail * perf.episode_seconds(paper_wl,
+                                                           episode_days)
+        rows.append([
+            f"{thr:.2e}",
+            f"{report.pass_rate:.2f}",
+            f"{measured:.2f}",
+            f"{speedup:.1f}x",
+            f"{projected:,.0f}",
+            f"{paper_roms / projected:.1f}x",
+        ])
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Threshold [m/s]", "Pass rate", "Measured [s]",
+             "Measured speedup", "Paper-scale [s]", "Paper-scale speedup"],
+            rows,
+            title=f"FIGURE 8 — hybrid workflow over {N_EPISODES} episodes "
+                  f"(paper: 5542 s/1.8x at strict → 22.2 s/446x at loose); "
+                  f"pure solver here: {solver_seconds:.2f} s"))
+
+    # Fig. 8 shape: cost non-increasing, speedup non-decreasing in threshold
+    costs = [float(r[2]) for r in rows]
+    assert all(a >= b - 0.25 * abs(a) for a, b in zip(costs, costs[1:])), \
+        "hybrid cost should fall as the threshold loosens"
+    # strictest threshold forces at least one fallback; loosest none
+    assert float(rows[0][1]) < 1.0
+    assert float(rows[-1][1]) == 1.0
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_hybrid_run(env, benchmark):
+    window, states = _reference_with_states(env)
+    wf = HybridWorkflow(env.fine_forecaster, env.ocean, env.verifier)
+    benchmark.pedantic(
+        lambda: wf.run(window, states, threshold=1e6),
+        rounds=2, iterations=1)

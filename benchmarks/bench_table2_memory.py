@@ -1,0 +1,83 @@
+"""Table II — memory requirement per training-pipeline stage.
+
+Regenerates the stage/size/tier/bandwidth table for (a) the paper's
+full 900×600×12 configuration via the analytic footprint model, and
+(b) the bench configuration with *measured* sample bytes and measured
+SSD→RAM staging throughput of the snapshot store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import format_table
+from repro.hpc import NodeSpec, pipeline_memory_table, sample_nbytes
+from repro.swin import SurrogateConfig
+
+from conftest import SURROGATE, T
+
+GB = 1024 ** 3
+
+
+def test_table2_report(env, capsys):
+    node = NodeSpec()
+    paper_cfg = SurrogateConfig.paper()
+
+    rows = []
+    for f in pipeline_memory_table(paper_cfg, node, batch=1):
+        rows.append([f.stage, f"{f.gigabytes:.1f} GB", f.path,
+                     f"{f.bandwidth/1e9:.0f} GB/s"])
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Stage", "Memory", "Data stores", "Throughput"],
+            rows,
+            title="TABLE II — memory per stage (paper config, batch 1, "
+                  "no ckpt; paper reports 4 / 42 / 12 GB)"))
+
+        ck = pipeline_memory_table(paper_cfg, node, batch=2,
+                                   checkpointing=True)
+        acts = [r for r in ck if "Processing" in r.stage][0]
+        print(f"\nWith SW-MSA checkpointing at batch 2: activations "
+              f"{acts.gigabytes:.1f} GB — fits the 80 GB A100, which is "
+              f"the paper's §III-D claim.")
+        print(f"Bench-config sample size: "
+              f"{sample_nbytes(SURROGATE)/1e6:.1f} MB")
+        print("Note: the paper's 12 GB 'parameter updating' row includes "
+              "framework-reserved GPU memory; raw params+grads+Adam of the "
+              "3.4M-parameter model is ~54 MB.")
+
+    acts_no_ck = [r for r in pipeline_memory_table(paper_cfg, node, batch=1)
+                  if "Processing" in r.stage][0]
+    assert 25 * GB <= acts_no_ck.nbytes <= 60 * GB
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_sample_loading(env, benchmark):
+    """Measured stage 1: staging one full training window from disk."""
+    store = env.bundle.open_train()
+
+    def load():
+        return store.read_window(0, T)
+
+    out = benchmark(load)
+    nbytes = sum(a.nbytes for a in out.values())
+    assert nbytes > 0
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_sample_processing(env, benchmark):
+    """Measured stage 2: one forward pass (the activation producer)."""
+    from repro.tensor import Tensor, no_grad
+    cfg = env.fine_model.config
+    H, W, D = cfg.mesh
+    rng = np.random.default_rng(0)
+    x3 = Tensor(rng.normal(size=(1, 3, H, W, D, T)).astype(np.float32))
+    x2 = Tensor(rng.normal(size=(1, 1, H, W, T)).astype(np.float32))
+    env.fine_model.eval()
+
+    def fwd():
+        with no_grad():
+            return env.fine_model(x3, x2)
+
+    benchmark(fwd)

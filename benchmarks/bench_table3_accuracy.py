@@ -1,0 +1,76 @@
+"""Table III — MAE and RMSE of the surrogate at both horizons.
+
+Evaluates the fine model on every non-overlapping test episode
+(≈ the 12-hour rows) and the dual coarse+fine rollout on full horizons
+(≈ the 12-day rows), in physical units over wet cells.  The expected
+*shape* from the paper: u, v errors O(1e-2) m/s; w errors two-plus
+orders smaller; ζ errors larger than u, v in magnitude units.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import aggregate_errors, compute_errors, format_sci, format_table
+
+from conftest import COARSE_EVERY, T
+
+HORIZON = T * COARSE_EVERY
+
+
+def _fine_errors(env):
+    wet = env.ocean.solver.wet
+    errs = []
+    for w in env.test_windows(length=T):
+        pred = env.fine_forecaster.forecast_episode(w).fields
+        errs.append(compute_errors(pred, w, wet=wet))
+    return aggregate_errors(errs)
+
+
+def _dual_errors(env):
+    wet = env.ocean.solver.wet
+    errs = []
+    for w in env.test_windows(length=HORIZON):
+        pred = env.dual.forecast(w).fields
+        errs.append(compute_errors(pred, w, wet=wet))
+    return aggregate_errors(errs)
+
+
+def test_table3_report(env, capsys):
+    fine = _fine_errors(env)
+    dual = _dual_errors(env)
+
+    def row(tag, e):
+        return ([tag] + [format_sci(v) for v in e.row("mae")]
+                + [format_sci(v) for v in e.row("rmse")])
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Horizon", "MAE u", "MAE v", "MAE w", "MAE ζ",
+             "RMSE u", "RMSE v", "RMSE w", "RMSE ζ"],
+            [row("12-hour analog (fine)", fine),
+             row("12-day analog (dual)", dual)],
+            title="TABLE III — surrogate forecast errors "
+                  "(paper: MAE u,v ≈ 2e-2 m/s, w ≈ 1e-4 m/s, ζ ≈ 5e-2 m)"))
+
+    # the paper's characteristic scale separation must reproduce
+    assert fine.mae["w"] < 0.1 * fine.mae["u"]
+    assert dual.mae["w"] < 0.1 * dual.mae["u"]
+    # all errors finite and positive
+    for e in (fine, dual):
+        for v in list(e.mae.values()) + list(e.rmse.values()):
+            assert np.isfinite(v) and v >= 0
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_fine_inference(env, benchmark):
+    """Paper: 12-hour forecast takes 0.888 s on one A100."""
+    w = env.test_windows(length=T)[0]
+    benchmark(lambda: env.fine_forecaster.forecast_episode(w))
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_dual_inference(env, benchmark):
+    """Paper: 12-day forecast takes 22.2 s on one A100."""
+    w = env.test_windows(length=HORIZON)[0]
+    benchmark.pedantic(lambda: env.dual.forecast(w), rounds=2, iterations=1)

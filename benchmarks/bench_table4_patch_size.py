@@ -1,0 +1,104 @@
+"""Table IV — sensitivity to the horizontal patch size.
+
+Trains surrogates with horizontal patches 4, 8, and 16 (the scaled
+analogues of the paper's 5 / 15 / 25) under an identical budget and
+reports parameter counts (encoder + decoder split), time per inference
+instance, and test MAE/RMSE.  Expected shape from the paper: the
+smallest patch has the most parameters (encoder-heavy), larger patches
+shift parameters into the decoder's transposed convolutions, and the
+smallest patch wins on accuracy.
+"""
+
+from dataclasses import replace
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, SlidingWindowDataset
+from repro.eval import aggregate_errors, compute_errors, format_sci, format_table
+from repro.swin import CoastalSurrogate
+from repro.train import Trainer, TrainerConfig, load_checkpoint, save_checkpoint
+from repro.workflow import SurrogateForecaster
+
+from conftest import CACHE, EPOCHS, SURROGATE, T
+
+PATCH_SIZES = (4, 8, 16)
+
+
+def _patched_config(p: int):
+    return replace(SURROGATE, patch3d=(p, p, 2), patch2d=(p, p))
+
+
+def _trained_variant(env, p: int):
+    cfg = _patched_config(p)
+    ckpt = CACHE / f"patch{p}_model.npz"
+    model = CoastalSurrogate(cfg)
+    if ckpt.exists():
+        load_checkpoint(ckpt, model)
+        return model
+    ds = SlidingWindowDataset(env.bundle.open_train(), env.normalizer,
+                              window=T, stride=4, pad_to=(cfg.mesh[0], cfg.mesh[1]))
+    trainer = Trainer(model, TrainerConfig(lr=2e-3))
+    trainer.fit(DataLoader(ds, batch_size=2, shuffle=True, seed=0),
+                epochs=max(2, EPOCHS // 2))
+    save_checkpoint(ckpt, model)
+    return model
+
+
+def test_table4_report(env, capsys):
+    wet = env.ocean.solver.wet
+    rows = []
+    accuracy = {}
+    for p in PATCH_SIZES:
+        model = _trained_variant(env, p)
+        fc = SurrogateForecaster(model, env.normalizer)
+        windows = env.test_windows(length=T)
+
+        t0 = time.perf_counter()
+        preds = [fc.forecast_episode(w).fields for w in windows]
+        per_instance = (time.perf_counter() - t0) / len(windows)
+
+        agg = aggregate_errors(
+            [compute_errors(pr, w, wet=wet)
+             for pr, w in zip(preds, windows)])
+        accuracy[p] = agg
+        b = model.parameter_breakdown()
+        rows.append([
+            p,
+            f"{b['total']/1e6:.3f} ({b['encoder']/1e6:.3f} + "
+            f"{b['decoder']/1e6:.3f})",
+            f"{per_instance:.3f}",
+            format_sci(agg.mae["u"]), format_sci(agg.mae["v"]),
+            format_sci(agg.mae["w"]), format_sci(agg.mae["zeta"]),
+            format_sci(agg.rmse["u"]), format_sci(agg.rmse["zeta"]),
+        ])
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Patch", "#Params [M] (enc + dec)", "Time/inst [s]",
+             "MAE u", "MAE v", "MAE w", "MAE ζ", "RMSE u", "RMSE ζ"],
+            rows,
+            title="TABLE IV — patch-size sensitivity "
+                  "(paper: patch 5 → 3.39M params, best accuracy)"))
+
+    # paper shape: the smallest patch "mostly" wins — under the short
+    # bench training budget we assert it is at worst within 10% of the
+    # best ζ RMSE across patch sizes (the paper's own Table IV has the
+    # smallest patch winning most but not all columns)
+    best = min(accuracy[p].rmse["zeta"] for p in PATCH_SIZES)
+    assert accuracy[4].rmse["zeta"] <= 1.10 * best
+    # and parameter counts must differ across patch sizes
+    counts = {CoastalSurrogate(_patched_config(p)).num_parameters()
+              for p in PATCH_SIZES}
+    assert len(counts) == len(PATCH_SIZES)
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("p", PATCH_SIZES)
+def test_table4_inference_time(env, benchmark, p):
+    model = _trained_variant(env, p)
+    fc = SurrogateForecaster(model, env.normalizer)
+    w = env.test_windows(length=T)[0]
+    benchmark(lambda: fc.forecast_episode(w))

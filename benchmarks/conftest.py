@@ -1,0 +1,146 @@
+"""Shared benchmark environment.
+
+Builds the bench-scale reproduction once per machine (cached under
+``.bench_cache/``): a 60×60×6 estuary (the scaled analogue of the
+paper's 898×598×12 Charlotte Harbor mesh), fine- and coarse-interval
+snapshot archives, and trained fine/coarse surrogates.  Every
+``bench_*`` module consumes this environment, so the numbers across
+tables/figures are mutually consistent — exactly like the paper, where
+one trained model feeds every experiment.
+
+Scale notes (see DESIGN.md §6): T = 8 snapshots per episode, fine
+interval 30 min (episode ≈ the paper's 12-hour model), coarse interval
+4 h (episode ≈ the 12-day model), dual rollout 8×8 = 64 half-hour
+steps ≈ the paper's 576-step 12-day forecast.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    Normalizer,
+    SlidingWindowDataset,
+    SnapshotStore,
+    build_archives,
+    resample_store,
+)
+from repro.ocean import OceanConfig, RomsLikeModel
+from repro.physics import Verifier
+from repro.swin import CoastalSurrogate, SurrogateConfig
+from repro.train import Trainer, TrainerConfig, load_checkpoint, save_checkpoint
+from repro.workflow import DualModelForecaster, FieldWindow, SurrogateForecaster
+
+CACHE = Path(__file__).resolve().parent.parent / ".bench_cache"
+
+# ----------------------------------------------------------------------
+# bench-scale configuration
+# ----------------------------------------------------------------------
+OCEAN = OceanConfig(nx=60, ny=60, nz=6,
+                    length_x=60_000.0, length_y=60_000.0)
+
+T = 8                       # snapshots per episode
+COARSE_EVERY = 8            # coarse interval = 8 × 30 min = 4 h
+TRAIN_DAYS = 2.0
+TEST_DAYS = 1.5
+EPOCHS = 4
+
+SURROGATE = SurrogateConfig(
+    mesh=(64, 64, 6), time_steps=T,
+    patch3d=(4, 4, 2), patch2d=(4, 4),
+    embed_dim=12, num_heads=(2, 4, 8), depths=(2, 2, 2),
+    window_first=(4, 4, 2, 2), window_rest=(2, 2, 2, 2),
+)
+
+
+@dataclass
+class BenchEnv:
+    """Everything a benchmark needs."""
+
+    ocean: RomsLikeModel
+    bundle: object
+    normalizer: Normalizer
+    fine_model: CoastalSurrogate
+    coarse_model: CoastalSurrogate
+    fine_forecaster: SurrogateForecaster
+    coarse_forecaster: SurrogateForecaster
+    dual: DualModelForecaster
+    verifier: Verifier
+    coarse_train: SnapshotStore
+    fine_train_seconds_per_instance: float
+
+    def test_windows(self, length: int = T, stride: int | None = None):
+        """Non-overlapping test-year FieldWindows."""
+        store = self.bundle.open_test()
+        stride = stride or length
+        out = []
+        for start in range(0, len(store) - length + 1, stride):
+            w = store.read_window(start, length)
+            out.append(FieldWindow(
+                w["u3"].astype(np.float64), w["v3"].astype(np.float64),
+                w["w3"].astype(np.float64), w["zeta"].astype(np.float64)))
+        return out
+
+
+def _train_model(cfg: SurrogateConfig, store, normalizer, ckpt: Path,
+                 window: int, stride: int, epochs: int
+                 ) -> tuple[CoastalSurrogate, float]:
+    """Train (or load) one surrogate; returns (model, s/instance)."""
+    model = CoastalSurrogate(cfg)
+    meta_path = ckpt.with_suffix(".meta.json")
+    if ckpt.exists():
+        load_checkpoint(ckpt, model)
+        secs = json.loads(meta_path.read_text())["seconds_per_instance"] \
+            if meta_path.exists() else 0.0
+        return model, secs
+    ds = SlidingWindowDataset(store, normalizer, window=window,
+                              stride=stride,
+                              pad_to=(cfg.mesh[0], cfg.mesh[1]))
+    loader = DataLoader(ds, batch_size=2, shuffle=True, seed=0)
+    trainer = Trainer(model, TrainerConfig(lr=2e-3))
+    history = trainer.fit(loader, epochs=epochs)
+    secs = float(np.mean([h.seconds / max(h.instances, 1) for h in history]))
+    save_checkpoint(ckpt, model)
+    meta_path.write_text(json.dumps({"seconds_per_instance": secs}))
+    return model, secs
+
+
+@pytest.fixture(scope="session")
+def env() -> BenchEnv:
+    CACHE.mkdir(exist_ok=True)
+    bundle = build_archives(CACHE / "archives", OCEAN,
+                            train_days=TRAIN_DAYS, test_days=TEST_DAYS,
+                            spinup_days=1.0)
+    normalizer = bundle.open_normalizer()
+
+    coarse_dir = CACHE / "archives" / "train_coarse"
+    if not (coarse_dir / "manifest.json").exists():
+        resample_store(bundle.open_train(), coarse_dir, every=COARSE_EVERY)
+    coarse_train = SnapshotStore(coarse_dir)
+
+    fine_model, secs = _train_model(
+        SURROGATE, bundle.open_train(), normalizer,
+        CACHE / "fine_model.npz", window=T, stride=4, epochs=EPOCHS)
+    coarse_model, _ = _train_model(
+        SURROGATE, coarse_train, normalizer,
+        CACHE / "coarse_model.npz", window=T, stride=1, epochs=EPOCHS)
+
+    ocean = RomsLikeModel(OCEAN)
+    fine_fc = SurrogateForecaster(fine_model, normalizer)
+    coarse_fc = SurrogateForecaster(coarse_model, normalizer)
+    dual = DualModelForecaster(coarse_fc, fine_fc, coarse_ratio=T)
+    verifier = Verifier(ocean.grid, ocean.depth,
+                        dt=OCEAN.snapshot_interval)
+    return BenchEnv(
+        ocean=ocean, bundle=bundle, normalizer=normalizer,
+        fine_model=fine_model, coarse_model=coarse_model,
+        fine_forecaster=fine_fc, coarse_forecaster=coarse_fc,
+        dual=dual, verifier=verifier, coarse_train=coarse_train,
+        fine_train_seconds_per_instance=secs,
+    )

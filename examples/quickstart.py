@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: the full paper pipeline in two minutes at toy scale.
+
+1. Simulate a small tidal estuary with the ROMS-like solver.
+2. Archive snapshots, fit normalisation, build sliding-window episodes.
+3. Train a small 4-D Swin Transformer surrogate.
+4. Forecast an episode, verify mass conservation, report errors.
+
+Run:  python examples/quickstart.py
+"""
+
+from pathlib import Path
+import tempfile
+
+import numpy as np
+
+from repro.data import DataLoader, SlidingWindowDataset, build_archives
+from repro.eval import compute_errors, format_sci
+from repro.ocean import OceanConfig, RomsLikeModel
+from repro.physics import Verifier
+from repro.swin import CoastalSurrogate, SurrogateConfig
+from repro.train import Trainer, TrainerConfig
+from repro.workflow import FieldWindow, SurrogateForecaster
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_quickstart_"))
+    print(f"workspace: {workdir}")
+
+    # ------------------------------------------------------------------
+    # 1–2. simulate and archive (a small Charlotte-Harbor-like estuary)
+    # ------------------------------------------------------------------
+    ocean_cfg = OceanConfig(nx=14, ny=15, nz=6,
+                            length_x=14_000.0, length_y=15_000.0)
+    print("simulating tidal circulation (spin-up + 0.75 days)...")
+    bundle = build_archives(workdir, ocean_cfg, train_days=0.5,
+                            test_days=0.25, spinup_days=0.25)
+    store = bundle.open_train()
+    norm = bundle.open_normalizer()
+    print(f"  train snapshots: {len(store)}, "
+          f"mesh {store.meta.mesh}, dtype {store.meta.dtype}")
+
+    # ------------------------------------------------------------------
+    # 3. train the surrogate (IC + boundary rims → interior forecast)
+    # ------------------------------------------------------------------
+    model_cfg = SurrogateConfig(
+        mesh=(16, 16, 6), time_steps=4,
+        patch3d=(4, 4, 2), patch2d=(4, 4),
+        embed_dim=8, num_heads=(2, 4, 8),
+        window_first=(2, 2, 2, 2), window_rest=(2, 2, 2, 2))
+    model = CoastalSurrogate(model_cfg)
+    print(f"surrogate parameters: {model.parameter_breakdown()}")
+
+    dataset = SlidingWindowDataset(store, norm, window=4, stride=2)
+    loader = DataLoader(dataset, batch_size=2, shuffle=True, seed=0)
+    trainer = Trainer(model, TrainerConfig(lr=2e-3))
+    print("training 8 epochs...")
+    for stats in trainer.fit(loader, epochs=8):
+        print(f"  epoch {stats.epoch}: loss {stats.train_loss:.4f} "
+              f"({stats.throughput:.2f} inst/s)")
+
+    # ------------------------------------------------------------------
+    # 4. forecast, verify, evaluate
+    # ------------------------------------------------------------------
+    test_store = bundle.open_test()
+    w = test_store.read_window(0, 4)
+    reference = FieldWindow(
+        w["u3"].astype(np.float64), w["v3"].astype(np.float64),
+        w["w3"].astype(np.float64), w["zeta"].astype(np.float64))
+
+    forecaster = SurrogateForecaster(model, norm)
+    result = forecaster.forecast_episode(reference)
+    print(f"forecast inference: {result.inference_seconds * 1e3:.1f} ms")
+
+    ocean = RomsLikeModel(ocean_cfg)
+    verifier = Verifier(ocean.grid, ocean.depth,
+                        dt=ocean_cfg.snapshot_interval)
+    verdict = verifier.verify(result.fields.zeta, result.fields.u3,
+                              result.fields.v3)
+    print(f"physics verification: {verdict}")
+
+    errors = compute_errors(result.fields, reference,
+                            wet=ocean.solver.wet)
+    print("forecast errors (vs solver truth, wet cells):")
+    for var in ("u", "v", "w", "zeta"):
+        print(f"  {var:>4}: MAE {format_sci(errors.mae[var])}  "
+              f"RMSE {format_sci(errors.rmse[var])}")
+
+
+if __name__ == "__main__":
+    main()

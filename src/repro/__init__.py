@@ -1,0 +1,31 @@
+"""repro — reproduction of "Accelerate Coastal Ocean Circulation Model
+with AI Surrogate" (Xu et al., IPDPS 2025; arXiv:2410.14952).
+
+Subpackages
+-----------
+- :mod:`repro.tensor` — NumPy autograd engine (the PyTorch substitute).
+- :mod:`repro.nn` — neural-network layers.
+- :mod:`repro.swin` — the 4-D Swin Transformer surrogate (core contribution).
+- :mod:`repro.ocean` — ROMS-like tidal circulation substrate.
+- :mod:`repro.data` — archives, preprocessing, episode datasets, loaders.
+- :mod:`repro.train` — optimisers, losses, trainer, checkpointing.
+- :mod:`repro.physics` — water-mass-conservation verification.
+- :mod:`repro.workflow` — dual-model forecasting + hybrid AI/ROMS loop.
+- :mod:`repro.hpc` — platform simulation and performance models.
+- :mod:`repro.eval` — accuracy metrics and report formatting.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "swin",
+    "ocean",
+    "data",
+    "train",
+    "physics",
+    "workflow",
+    "hpc",
+    "eval",
+]

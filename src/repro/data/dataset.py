@@ -1,0 +1,188 @@
+"""Sliding-window episode dataset (paper §III-B).
+
+An *episode* is ``T`` consecutive snapshots whose first slot is the
+initial condition: the surrogate input carries the full IC in slot 0
+and only the lateral boundary rims in slots 1..T−1; the target carries
+the full fields in every slot.  The training year is augmented with a
+sliding window (stride 6, as in the paper); test windows do not
+overlap.
+
+Conventions (see DESIGN.md): with ``T = 24`` and a 0.5-h interval an
+episode spans 11.5 h of forecast — the scaled analogue of the paper's
+12-hour fine model; with a 12-h interval it spans 11.5 days (coarse
+model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .preprocess import Normalizer, pad_mesh, padded_shape
+from .store import SnapshotStore
+
+__all__ = ["EpisodeSample", "SlidingWindowDataset", "assemble_episode_input"]
+
+
+@dataclass
+class EpisodeSample:
+    """One training/evaluation episode.
+
+    Attributes
+    ----------
+    x3d: (3, H', W', D, T) input — IC in slot 0, boundary rims after.
+    x2d: (1, H', W', T) input for ζ, same convention.
+    y3d: (3, H', W', D, T) full-field target.
+    y2d: (1, H', W', T) full-field target.
+    start: index of the first snapshot in the source store.
+    """
+
+    x3d: np.ndarray
+    x2d: np.ndarray
+    y3d: np.ndarray
+    y2d: np.ndarray
+    start: int
+
+
+def _rim_only(field: np.ndarray, width: int) -> np.ndarray:
+    """Keep a boundary rim of ``width`` cells on the (H, W) plane."""
+    out = np.zeros_like(field)
+    w = width
+    out[:w, ...] = field[:w, ...]
+    out[-w:, ...] = field[-w:, ...]
+    out[:, :w, ...] = field[:, :w, ...]
+    out[:, -w:, ...] = field[:, -w:, ...]
+    return out
+
+
+def assemble_episode_input(u3: np.ndarray, v3: np.ndarray, w3: np.ndarray,
+                           zeta: np.ndarray, boundary_width: int = 1
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (x3d, x2d) surrogate inputs from full-field windows.
+
+    Parameters
+    ----------
+    u3, v3, w3: (T, H, W, D) full fields; zeta: (T, H, W).
+    boundary_width: rim width preserved in slots 1..T−1.
+
+    Returns
+    -------
+    x3d: (3, H, W, D, T); x2d: (1, H, W, T).
+    """
+    T = u3.shape[0]
+    vol = np.stack([u3, v3, w3], axis=0)       # (3, T, H, W, D)
+    x3d = np.zeros_like(vol)
+    x3d[:, 0] = vol[:, 0]
+    x2d_seq = np.zeros_like(zeta)[None]        # (1, T, H, W)
+    x2d_seq[0, 0] = zeta[0]
+    for t in range(1, T):
+        for c in range(3):
+            x3d[c, t] = _rim_only(vol[c, t], boundary_width)
+        x2d_seq[0, t] = _rim_only(zeta[t], boundary_width)
+    # time axis last: (3, H, W, D, T) / (1, H, W, T)
+    return np.moveaxis(x3d, 1, -1), np.moveaxis(x2d_seq, 1, -1)
+
+
+class SlidingWindowDataset:
+    """Episodes cut from a :class:`SnapshotStore` with optional overlap.
+
+    Parameters
+    ----------
+    store: source archive.
+    normalizer: fitted z-score statistics (from the *training* archive).
+    window: episode length T.
+    stride: window start spacing (6 for training augmentation, use
+        ``window`` for non-overlapping test windows).
+    pad_multiple: (mh, mw) horizontal patch multiples; snapshots are
+        zero-padded so H, W divide evenly (paper's 900×600 trick).
+    pad_to: explicit padded (H', W') target overriding ``pad_multiple``
+        — use the surrogate's ``config.mesh`` when the mesh must also
+        satisfy patch-merging divisibility, not just the patch size.
+    boundary_width: rim width of the boundary-condition slots.
+    dtype: on-sample dtype — ``float16`` mirrors the paper's storage.
+    """
+
+    VAR3D = ("u3", "v3", "w3")
+
+    def __init__(self, store: SnapshotStore, normalizer: Normalizer,
+                 window: int = 24, stride: int = 6,
+                 pad_multiple: Tuple[int, int] = (4, 4),
+                 pad_to: Optional[Tuple[int, int]] = None,
+                 boundary_width: int = 1,
+                 dtype: str = "float16"):
+        self.store = store
+        self.normalizer = normalizer
+        self.window = int(window)
+        self.stride = int(stride)
+        self.boundary_width = int(boundary_width)
+        self.dtype = np.dtype(dtype)
+        H, W, _ = store.meta.mesh
+        self.orig_hw = (H, W)
+        self.padded_hw = tuple(pad_to) if pad_to is not None \
+            else padded_shape(H, W, *pad_multiple)
+        n = len(store)
+        if n < self.window:
+            raise ValueError(
+                f"store has {n} snapshots < window {self.window}")
+        self.starts: List[int] = list(
+            range(0, n - self.window + 1, self.stride))
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    # ------------------------------------------------------------------
+    def _load_window(self, start: int) -> Dict[str, np.ndarray]:
+        raw = self.store.read_window(start, self.window)
+        out: Dict[str, np.ndarray] = {}
+        ph, pw = self.padded_hw
+        for var, arr in raw.items():
+            a = self.normalizer.normalize(var, arr.astype(np.float32))
+            # pad the (H, W) axes, which are axes 1, 2 of (T, H, W[, D])
+            a = np.moveaxis(a, 0, -1)            # (H, W[, D], T)
+            a = pad_mesh(a, ph, pw)
+            out[var] = np.moveaxis(a, -1, 0)     # back to (T, H', W'[, D])
+        return out
+
+    def __getitem__(self, i: int) -> EpisodeSample:
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        start = self.starts[i]
+        w = self._load_window(start)
+        x3d, x2d = assemble_episode_input(
+            w["u3"], w["v3"], w["w3"], w["zeta"], self.boundary_width)
+        y3d = np.moveaxis(
+            np.stack([w[v] for v in self.VAR3D], axis=0), 1, -1)
+        y2d = np.moveaxis(w["zeta"][None], 1, -1)
+        cast = lambda a: np.ascontiguousarray(a, dtype=self.dtype)
+        return EpisodeSample(cast(x3d), cast(x2d), cast(y3d), cast(y2d),
+                             start)
+
+    # ------------------------------------------------------------------
+    def split(self, fraction: float, seed: int = 0
+              ) -> Tuple["SlidingWindowDataset", "SlidingWindowDataset"]:
+        """Random train/validation split of the window starts (9:1 in
+        the paper)."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.starts))
+        n_first = int(round(fraction * len(order)))
+        first = _SubsetDataset(self, [self.starts[k] for k in order[:n_first]])
+        second = _SubsetDataset(self, [self.starts[k] for k in order[n_first:]])
+        return first, second
+
+
+class _SubsetDataset(SlidingWindowDataset):
+    """View over a parent dataset restricted to specific window starts."""
+
+    def __init__(self, parent: SlidingWindowDataset, starts: List[int]):
+        # share configuration without re-validating the store
+        self.store = parent.store
+        self.normalizer = parent.normalizer
+        self.window = parent.window
+        self.stride = parent.stride
+        self.boundary_width = parent.boundary_width
+        self.dtype = parent.dtype
+        self.orig_hw = parent.orig_hw
+        self.padded_hw = parent.padded_hw
+        self.starts = list(starts)

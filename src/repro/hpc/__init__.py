@@ -1,0 +1,70 @@
+"""HPC platform simulation and performance models.
+
+Reproduces the systems side of the paper on commodity hardware:
+cluster specifications, the memory-tier model behind Table II, the
+simulated-MPI domain decomposition of the solver (verified bit-exact),
+the training-pipeline ablation model (Fig. 9), the ROMS cost model
+(Table I, Fig. 8), and the multi-GPU weak-scaling model (Fig. 10).
+"""
+
+from .cluster import ClusterSpec, DGX_A100_CLUSTER, GpuSpec, NodeSpec
+from .memory import (
+    MemoryFootprint,
+    Tier,
+    TransferModel,
+    activation_nbytes,
+    model_state_nbytes,
+    pipeline_memory_table,
+    sample_nbytes,
+)
+from .mpi import (
+    BlockDecomposition,
+    DecomposedShallowWater,
+    SimComm,
+    halo_exchange_bytes,
+)
+from .pipeline import (
+    FIG9_CONFIGS,
+    PipelineConfig,
+    PipelineParams,
+    TrainingPipelineModel,
+)
+from .roms_perf import (
+    RomsPerfModel,
+    RomsWorkload,
+    TABLE1_ROWS,
+    best_process_grid,
+)
+from .scaling import PAPER_GPU_COUNTS, ScalingModel, ring_allreduce_seconds
+from .trace import PipelineTrace, StageEvent
+
+__all__ = [
+    "GpuSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "DGX_A100_CLUSTER",
+    "Tier",
+    "TransferModel",
+    "sample_nbytes",
+    "activation_nbytes",
+    "model_state_nbytes",
+    "MemoryFootprint",
+    "pipeline_memory_table",
+    "SimComm",
+    "BlockDecomposition",
+    "DecomposedShallowWater",
+    "halo_exchange_bytes",
+    "PipelineParams",
+    "PipelineConfig",
+    "TrainingPipelineModel",
+    "FIG9_CONFIGS",
+    "RomsWorkload",
+    "RomsPerfModel",
+    "TABLE1_ROWS",
+    "best_process_grid",
+    "ScalingModel",
+    "ring_allreduce_seconds",
+    "PAPER_GPU_COUNTS",
+    "PipelineTrace",
+    "StageEvent",
+]

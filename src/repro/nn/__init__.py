@@ -1,0 +1,44 @@
+"""Neural-network layer library on top of :mod:`repro.tensor`.
+
+Provides the module system plus every layer the 4-D Swin surrogate
+needs: linear/MLP, LayerNorm/BatchNorm, GELU, dropout, multi-head
+self-attention, and 2-D/3-D (transposed) convolutions.
+"""
+
+from .module import Module, ModuleList, Parameter, Sequential
+from .layers import (
+    BatchNorm,
+    Dropout,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLP,
+    ReLU,
+    gelu,
+)
+from .conv import Conv2d, Conv3d, ConvTranspose2d, ConvTranspose3d
+from .attention import MultiHeadSelfAttention
+from . import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "LayerNorm",
+    "BatchNorm",
+    "GELU",
+    "ReLU",
+    "Identity",
+    "Dropout",
+    "MLP",
+    "gelu",
+    "Conv2d",
+    "Conv3d",
+    "ConvTranspose2d",
+    "ConvTranspose3d",
+    "MultiHeadSelfAttention",
+    "init",
+]

@@ -1,0 +1,19 @@
+"""Physics-based verification of surrogate forecasts (paper §III-E)."""
+
+from .residual import depth_average, residual_series, water_mass_residual
+from .verifier import (
+    OCEANOGRAPHY_ACCEPTED_THRESHOLD,
+    PAPER_THRESHOLDS,
+    VerificationResult,
+    Verifier,
+)
+
+__all__ = [
+    "water_mass_residual",
+    "residual_series",
+    "depth_average",
+    "Verifier",
+    "VerificationResult",
+    "OCEANOGRAPHY_ACCEPTED_THRESHOLD",
+    "PAPER_THRESHOLDS",
+]

@@ -1,0 +1,105 @@
+"""Physics-based result verification (paper §III-E).
+
+The :class:`Verifier` checks whether a surrogate forecast adheres to
+the water-mass conservation law: the mean per-cell residual over wet
+cells must stay below a threshold.  The hybrid workflow consults the
+verifier after every surrogate episode and falls back to the ROMS-like
+solver on failure ("early error detection during the calculation",
+§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..ocean.grid import CurvilinearGrid
+from .residual import residual_series
+
+__all__ = ["VerificationResult", "Verifier", "OCEANOGRAPHY_ACCEPTED_THRESHOLD",
+           "PAPER_THRESHOLDS"]
+
+#: "Water mass residuals … smaller than 5.0e-4 m/s are typically
+#: considered acceptable by oceanographers" (paper §IV-D).
+OCEANOGRAPHY_ACCEPTED_THRESHOLD = 5.0e-4
+
+#: Threshold sweep of the paper's Fig. 7 / Fig. 8 (m/s).
+PAPER_THRESHOLDS = (3.0e-4, 3.5e-4, 4.0e-4, 4.5e-4, 5.0e-4, 5.5e-4)
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of verifying one forecast episode."""
+
+    mean_residual: float          # wet-cell mean over the episode [m/s]
+    max_residual: float
+    threshold: float
+    passed: bool
+    per_step_mean: np.ndarray     # (T−1,) mean residual of each transition
+
+    def __repr__(self) -> str:
+        tag = "PASS" if self.passed else "FAIL"
+        return (f"VerificationResult({tag}, mean={self.mean_residual:.3e}, "
+                f"thr={self.threshold:.1e})")
+
+
+class Verifier:
+    """Thresholded mass-conservation check on surrogate forecasts.
+
+    Parameters
+    ----------
+    grid, depth: domain geometry (wet mask derived from depth).
+    threshold: pass threshold on the episode-mean residual [m/s].
+    dt: snapshot interval of the forecasts to be checked [s].
+    """
+
+    def __init__(self, grid: CurvilinearGrid, depth: np.ndarray,
+                 threshold: float = OCEANOGRAPHY_ACCEPTED_THRESHOLD,
+                 dt: float = 1800.0):
+        self.grid = grid
+        self.depth = np.asarray(depth)
+        self.wet = self.depth > 0.0
+        self.threshold = float(threshold)
+        self.dt = float(dt)
+
+    def residuals(self, zeta_seq: np.ndarray, u3_seq: np.ndarray,
+                  v3_seq: np.ndarray) -> np.ndarray:
+        """(T−1, H, W) residual fields for a forecast."""
+        return residual_series(self.grid, self.depth, zeta_seq,
+                               u3_seq, v3_seq, self.dt, self.wet)
+
+    def verify(self, zeta_seq: np.ndarray, u3_seq: np.ndarray,
+               v3_seq: np.ndarray,
+               threshold: Optional[float] = None) -> VerificationResult:
+        """Verify one forecast episode against the threshold."""
+        thr = self.threshold if threshold is None else float(threshold)
+        res = self.residuals(zeta_seq, u3_seq, v3_seq)
+        wet = self.wet
+        per_step = res[:, wet].mean(axis=1)
+        mean = float(per_step.mean())
+        return VerificationResult(
+            mean_residual=mean,
+            max_residual=float(res[:, wet].max()),
+            threshold=thr,
+            passed=mean < thr,
+            per_step_mean=per_step,
+        )
+
+    def pass_rate(self, episodes: Sequence[VerificationResult] | Sequence[float],
+                  threshold: Optional[float] = None) -> float:
+        """Fraction of episodes whose mean residual beats the threshold.
+
+        Accepts either :class:`VerificationResult` objects or raw mean
+        residual floats, enabling cheap threshold sweeps (Fig. 7) from a
+        single residual computation.
+        """
+        thr = self.threshold if threshold is None else float(threshold)
+        values = [
+            e.mean_residual if isinstance(e, VerificationResult) else float(e)
+            for e in episodes
+        ]
+        if not values:
+            raise ValueError("no episodes to evaluate")
+        return float(np.mean([v < thr for v in values]))

@@ -1,0 +1,178 @@
+"""Patch embedding, merging, and recovery (paper §III-C).
+
+* :class:`PatchEmbed3d` / :class:`PatchEmbed2d` — split the 3-D velocity
+  volume and the 2-D free-surface plane into patches and project them to
+  a shared ``C``-dimensional latent space; the 2-D plane becomes one
+  extra "depth" slot so both can be concatenated along depth.
+* :class:`PatchMerging4d` — hierarchical downsampling: 2×2×2 spatial
+  neighbourhoods concatenated channel-wise (8C) then projected to 2C;
+  the temporal axis is untouched (paper Fig. 4).
+* :class:`PatchRecover3d` / :class:`PatchRecover2d` — decoder heads that
+  upsample patches back to the original mesh via transposed convolutions
+  followed by 1×1 refinement convolutions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..nn import (
+    BatchNorm,
+    Conv2d,
+    Conv3d,
+    ConvTranspose2d,
+    ConvTranspose3d,
+    GELU,
+    Linear,
+    Module,
+)
+from ..nn import init
+
+__all__ = [
+    "PatchEmbed3d",
+    "PatchEmbed2d",
+    "PatchMerging4d",
+    "PatchRecover3d",
+    "PatchRecover2d",
+]
+
+
+def _fold_time(x: Tensor) -> Tuple[Tensor, int, int]:
+    """(B, C, *S, T) → (B*T, C, *S); returns (folded, B, T)."""
+    B = x.shape[0]
+    T = x.shape[-1]
+    nd = x.ndim
+    # (B, C, *S, T) -> (B, T, C, *S)
+    perm = (0, nd - 1, 1) + tuple(range(2, nd - 1))
+    xt = x.transpose(perm)
+    return xt.reshape((B * T,) + xt.shape[2:]), B, T
+
+
+def _unfold_time(x: Tensor, B: int, T: int) -> Tensor:
+    """(B*T, C, *S) → (B, C, *S, T)."""
+    xt = x.reshape((B, T) + x.shape[1:])
+    nd = xt.ndim
+    perm = (0, 2) + tuple(range(3, nd)) + (1,)
+    return xt.transpose(perm)
+
+
+class PatchEmbed3d(Module):
+    """Embed ``(B, C_in, H, W, D, T)`` into ``(B, C, H/PH, W/PW, D/PD, T)``.
+
+    Implemented as a strided 3-D convolution (kernel = stride = patch),
+    applied per time slice with the time axis folded into the batch.
+    """
+
+    def __init__(self, in_channels: int, embed_dim: int,
+                 patch: Tuple[int, int, int],
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.patch = tuple(patch)
+        self.proj = Conv3d(in_channels, embed_dim, self.patch,
+                           stride=self.patch, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for ax, p in zip(x.shape[2:5], self.patch):
+            if ax % p != 0:
+                raise ValueError(
+                    f"spatial dim {ax} not divisible by patch {p}; "
+                    "pad the mesh first (repro.data.preprocess.pad_mesh)"
+                )
+        folded, B, T = _fold_time(x)
+        emb = self.proj(folded)
+        return _unfold_time(emb, B, T)
+
+
+class PatchEmbed2d(Module):
+    """Embed ``(B, C_in, H, W, T)`` into ``(B, C, H/PH, W/PW, 1, T)``.
+
+    The singleton depth axis lets the surface plane concatenate with the
+    3-D volume along depth, exactly as described in the paper.
+    """
+
+    def __init__(self, in_channels: int, embed_dim: int,
+                 patch: Tuple[int, int],
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.patch = tuple(patch)
+        self.proj = Conv2d(in_channels, embed_dim, self.patch,
+                           stride=self.patch, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        folded, B, T = _fold_time(x)
+        emb = self.proj(folded)          # (B*T, C, H', W')
+        emb = _unfold_time(emb, B, T)    # (B, C, H', W', T)
+        return emb.reshape(emb.shape[:4] + (1,) + emb.shape[4:])
+
+
+class PatchMerging4d(Module):
+    """Spatial 2× downsampling with channel doubling (time untouched).
+
+    Input/output layout is channels-last ``(B, H, W, D, T, C)`` — the
+    layout used between Swin blocks.
+    """
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.dim = dim
+        self.reduction = Linear(8 * dim, 2 * dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        B, H, W, D, T, C = x.shape
+        if H % 2 or W % 2 or D % 2:
+            raise ValueError(
+                f"PatchMerging4d needs even spatial dims, got {(H, W, D)}"
+            )
+        x = x.reshape(B, H // 2, 2, W // 2, 2, D // 2, 2, T, C)
+        x = x.transpose(0, 1, 3, 5, 7, 2, 4, 6, 8)
+        x = x.reshape(B, H // 2, W // 2, D // 2, T, 8 * C)
+        return self.reduction(x)
+
+
+class PatchRecover3d(Module):
+    """Recover 3-D variables: latent patches → full-resolution (u, v, w).
+
+    ConvTranspose3d (kernel = stride = patch) + BatchNorm + GELU, then a
+    1×1×1 convolution to the physical channel count (paper §III-C).
+    """
+
+    def __init__(self, embed_dim: int, out_channels: int,
+                 patch: Tuple[int, int, int],
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.patch = tuple(patch)
+        self.up = ConvTranspose3d(embed_dim, embed_dim, self.patch,
+                                  stride=self.patch, rng=rng)
+        self.norm = BatchNorm(embed_dim)
+        self.act = GELU()
+        self.head = Conv3d(embed_dim, out_channels, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """(B, C, H', W', D', T) → (B, out, H'*PH, W'*PW, D'*PD, T)."""
+        folded, B, T = _fold_time(x)
+        y = self.head(self.act(self.norm(self.up(folded))))
+        return _unfold_time(y, B, T)
+
+
+class PatchRecover2d(Module):
+    """Recover the 2-D free-surface variable ζ at full resolution."""
+
+    def __init__(self, embed_dim: int, out_channels: int,
+                 patch: Tuple[int, int],
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.patch = tuple(patch)
+        self.up = ConvTranspose2d(embed_dim, embed_dim, self.patch,
+                                  stride=self.patch, rng=rng)
+        self.norm = BatchNorm(embed_dim)
+        self.act = GELU()
+        self.head = Conv2d(embed_dim, out_channels, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """(B, C, H', W', T) → (B, out, H'*PH, W'*PW, T)."""
+        folded, B, T = _fold_time(x)
+        y = self.head(self.act(self.norm(self.up(folded))))
+        return _unfold_time(y, B, T)

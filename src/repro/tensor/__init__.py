@@ -1,0 +1,47 @@
+"""NumPy-backed reverse-mode autodiff engine.
+
+Public surface:
+
+* :class:`Tensor` — array + gradient tape node.
+* :func:`concatenate`, :func:`stack`, :func:`where` — multi-input ops.
+* :func:`conv_nd`, :func:`conv_transpose_nd` — N-d convolution kernels.
+* :func:`no_grad` — inference-mode context manager.
+* :func:`gradcheck` — finite-difference verification.
+"""
+
+from .tensor import (
+    Tensor,
+    astensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+    stack,
+    unbroadcast,
+    where,
+)
+from .ops_conv import (
+    conv_nd,
+    conv_output_shape,
+    conv_transpose_nd,
+    conv_transpose_output_shape,
+)
+from .gradcheck import gradcheck, numerical_grad
+
+__all__ = [
+    "Tensor",
+    "astensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "unbroadcast",
+    "conv_nd",
+    "conv_transpose_nd",
+    "conv_output_shape",
+    "conv_transpose_output_shape",
+    "gradcheck",
+    "numerical_grad",
+]

@@ -1,0 +1,681 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module provides the :class:`Tensor` class — the computational
+foundation of the whole reproduction.  The paper's surrogate is a PyTorch
+model trained on A100 GPUs; this repo substitutes a from-scratch,
+vectorised, NumPy-backed autograd engine so that the *exact same model
+code path* (forward, backward, optimiser step, activation checkpointing,
+mixed-precision casts) runs on CPU-only machines.
+
+Design notes
+------------
+* Each :class:`Tensor` wraps an ``np.ndarray`` and records the operation
+  that produced it as a backward closure plus parent references.
+* ``backward()`` topologically sorts the graph and accumulates gradients.
+* Broadcasting is handled by :func:`unbroadcast`, which sums gradients
+  over broadcast dimensions — the single most bug-prone part of any
+  engine, so it is property-tested against numerical gradients.
+* A module-level ``autograd_enabled`` flag implements ``no_grad``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import special as _sp_special
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "unbroadcast",
+    "astensor",
+]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient recording is currently active."""
+    return getattr(_state, "grad_enabled", True)
+
+
+def set_grad_enabled(mode: bool) -> None:
+    """Globally enable or disable gradient recording."""
+    _state.grad_enabled = bool(mode)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    prev = is_grad_enabled()
+    set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(prev)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    NumPy broadcasting stretches size-1 (or missing) axes; the adjoint of
+    that stretch is a sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were stretched from 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def astensor(value: ArrayLike, dtype=None) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy when possible)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+class Tensor:
+    """A NumPy array with reverse-mode gradient support.
+
+    Parameters
+    ----------
+    data:
+        Array data.  Lists/scalars are converted with ``np.asarray``.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    __array_priority__ = 1000  # take precedence over ndarray in mixed ops
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data: np.ndarray = np.asarray(data)
+        if self.data.dtype == np.float64:
+            # fp32 is the library-wide compute precision (paper trains in
+            # mixed fp16/fp32); callers opt in to fp64 explicitly.
+            pass
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared memory, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a view of this tensor cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        out = self._make(self.data.copy(), (self,))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g)
+            out._backward = _bw
+        return out
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast (used for fp16 mixed-precision paths)."""
+        src_dtype = self.data.dtype
+        out = self._make(self.data.astype(dtype), (self,))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g.astype(src_dtype))
+            out._backward = _bw
+        return out
+
+    def half(self) -> "Tensor":
+        return self.astype(np.float16)
+
+    def float(self) -> "Tensor":
+        return self.astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # graph plumbing
+    # ------------------------------------------------------------------
+    def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...]) -> "Tensor":
+        """Create a result tensor wired to ``parents`` if grads are on."""
+        rg = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        out.requires_grad = rg
+        if rg:
+            out._parents = tuple(parents)
+        return out
+
+    def _accum(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad`` (dense accumulation)."""
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad)
+        if grad.shape != self.data.shape:
+            grad = unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Incoming gradient.  Defaults to ones (scalar outputs only need
+            the default).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order over the subgraph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and p.requires_grad:
+                    stack.append((p, False))
+
+        # Seed and propagate. ``grad`` buffers on interior nodes are freed
+        # as soon as consumed to bound peak memory (cf. paper §III-D).
+        self._accum(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+            if node is not self and node._parents:
+                node.grad = None  # interior node: gradient already pushed
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = astensor(other)
+        out = self._make(self.data + other.data, (self, other))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g)
+                other._accum(g)
+            out._backward = _bw
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make(-self.data, (self,))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(-g)
+            out._backward = _bw
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = astensor(other)
+        out = self._make(self.data - other.data, (self, other))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g)
+                other._accum(-g)
+            out._backward = _bw
+        return out
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return astensor(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = astensor(other)
+        out = self._make(self.data * other.data, (self, other))
+        if out.requires_grad:
+            a, b = self.data, other.data
+            def _bw(g):
+                self._accum(g * b)
+                other._accum(g * a)
+            out._backward = _bw
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = astensor(other)
+        out = self._make(self.data / other.data, (self, other))
+        if out.requires_grad:
+            a, b = self.data, other.data
+            def _bw(g):
+                self._accum(g / b)
+                other._accum(-g * a / (b * b))
+            out._backward = _bw
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return astensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor.__pow__ supports scalar exponents only")
+        out = self._make(self.data ** exponent, (self,))
+        if out.requires_grad:
+            a = self.data
+            def _bw(g):
+                self._accum(g * exponent * a ** (exponent - 1))
+            out._backward = _bw
+        return out
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Batched matrix product with full broadcasting on batch dims."""
+        other = astensor(other)
+        out = self._make(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            a, b = self.data, other.data
+            def _bw(g):
+                if a.ndim == 1 and b.ndim == 1:
+                    self._accum(g * b)
+                    other._accum(g * a)
+                    return
+                ga = g @ np.swapaxes(b, -1, -2) if b.ndim > 1 else np.outer(g, b)
+                gb = np.swapaxes(a, -1, -2) @ g if a.ndim > 1 else np.outer(a, g)
+                self._accum(unbroadcast(ga, a.shape))
+                other._accum(unbroadcast(gb, b.shape))
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # elementwise transcendental
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = self._make(out_data, (self,))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g * out_data)
+            out._backward = _bw
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data), (self,))
+        if out.requires_grad:
+            a = self.data
+            def _bw(g):
+                self._accum(g / a)
+            out._backward = _bw
+        return out
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        out = self._make(out_data, (self,))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g * 0.5 / out_data)
+            out._backward = _bw
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        out = self._make(out_data, (self,))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g * (1.0 - out_data * out_data))
+            out._backward = _bw
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = _sp_special.expit(self.data)
+        out = self._make(out_data, (self,))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g * out_data * (1.0 - out_data))
+            out._backward = _bw
+        return out
+
+    def erf(self) -> "Tensor":
+        """Gauss error function — the exact GELU building block."""
+        out = self._make(_sp_special.erf(self.data), (self,))
+        if out.requires_grad:
+            a = self.data
+            two_over_sqrt_pi = 2.0 / np.sqrt(np.pi)
+            def _bw(g):
+                self._accum(g * two_over_sqrt_pi * np.exp(-a * a))
+            out._backward = _bw
+        return out
+
+    def abs(self) -> "Tensor":
+        out = self._make(np.abs(self.data), (self,))
+        if out.requires_grad:
+            sign = np.sign(self.data)
+            def _bw(g):
+                self._accum(g * sign)
+            out._backward = _bw
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make(self.data * mask, (self,))
+        if out.requires_grad:
+            def _bw(g):
+                self._accum(g * mask)
+            out._backward = _bw
+        return out
+
+    def maximum(self, other: ArrayLike) -> "Tensor":
+        """Elementwise max; ties send the full gradient to ``self``."""
+        other = astensor(other)
+        out = self._make(np.maximum(self.data, other.data), (self, other))
+        if out.requires_grad:
+            mask = self.data >= other.data
+            def _bw(g):
+                self._accum(g * mask)
+                other._accum(g * ~mask)
+            out._backward = _bw
+        return out
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        out = self._make(np.clip(self.data, lo, hi), (self,))
+        if out.requires_grad:
+            mask = (self.data >= lo) & (self.data <= hi)
+            def _bw(g):
+                self._accum(g * mask)
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            shape = self.data.shape
+            def _bw(g):
+                gg = np.asarray(g)
+                if axis is not None and not keepdims:
+                    ax = axis if isinstance(axis, tuple) else (axis,)
+                    ax = tuple(a % len(shape) for a in ax)
+                    for a in sorted(ax):
+                        gg = np.expand_dims(gg, a)
+                self._accum(np.broadcast_to(gg, shape))
+            out._backward = _bw
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        n = self.data.size if axis is None else _axis_size(self.data.shape, axis)
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    def var(self, axis=None, keepdims: bool = False, ddof: int = 0) -> "Tensor":
+        """Differentiable variance built from mean()."""
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) * (self - mu)
+        n = self.data.size if axis is None else _axis_size(self.data.shape, axis)
+        scale = n / max(n - ddof, 1) if ddof else 1.0
+        return sq.mean(axis=axis, keepdims=keepdims) * scale
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=True)
+        out = self._make(
+            out_data if keepdims or axis is None and keepdims else
+            self.data.max(axis=axis, keepdims=keepdims),
+            (self,),
+        )
+        if out.requires_grad:
+            mask = self.data == out_data
+            counts = mask.sum(axis=axis, keepdims=True)
+            def _bw(g):
+                gg = np.asarray(g)
+                if axis is not None and not keepdims:
+                    ax = axis if isinstance(axis, tuple) else (axis,)
+                    ax = tuple(a % self.data.ndim for a in ax)
+                    for a in sorted(ax):
+                        gg = np.expand_dims(gg, a)
+                self._accum(mask * gg / counts)
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,))
+        if out.requires_grad:
+            orig = self.data.shape
+            def _bw(g):
+                self._accum(np.asarray(g).reshape(orig))
+            out._backward = _bw
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out = self._make(self.data.transpose(axes), (self,))
+        if out.requires_grad:
+            inv = np.argsort(axes)
+            def _bw(g):
+                self._accum(np.asarray(g).transpose(inv))
+            out._backward = _bw
+        return out
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, idx) -> "Tensor":
+        out = self._make(self.data[idx], (self,))
+        if out.requires_grad:
+            shape = self.data.shape
+            dtype = self.data.dtype
+            def _bw(g):
+                full = np.zeros(shape, dtype=dtype)
+                np.add.at(full, idx, g)
+                self._accum(full)
+            out._backward = _bw
+        return out
+
+    def pad(self, pad_width: Sequence[Tuple[int, int]], value: float = 0.0) -> "Tensor":
+        """Constant-pad; ``pad_width`` follows ``np.pad`` convention."""
+        pw = tuple(tuple(p) for p in pad_width)
+        out = self._make(
+            np.pad(self.data, pw, mode="constant", constant_values=value), (self,)
+        )
+        if out.requires_grad:
+            slices = tuple(
+                slice(lo, lo + s) for (lo, _), s in zip(pw, self.data.shape)
+            )
+            def _bw(g):
+                self._accum(np.asarray(g)[slices])
+            out._backward = _bw
+        return out
+
+    def roll(self, shift, axis) -> "Tensor":
+        """Cyclic shift — the core of shifted-window attention (SW-MSA)."""
+        out = self._make(np.roll(self.data, shift, axis=axis), (self,))
+        if out.requires_grad:
+            if isinstance(shift, (tuple, list)):
+                inv_shift = tuple(-s for s in shift)
+            else:
+                inv_shift = -shift
+            def _bw(g):
+                self._accum(np.roll(np.asarray(g), inv_shift, axis=axis))
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # composite ops
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable softmax with a fused backward."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        p = e / e.sum(axis=axis, keepdims=True)
+        out = self._make(p, (self,))
+        if out.requires_grad:
+            def _bw(g):
+                gp = g * p
+                self._accum(gp - p * gp.sum(axis=axis, keepdims=True))
+            out._backward = _bw
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        ls = shifted - lse
+        out = self._make(ls, (self,))
+        if out.requires_grad:
+            p = np.exp(ls)
+            def _bw(g):
+                self._accum(g - p * g.sum(axis=axis, keepdims=True))
+            out._backward = _bw
+        return out
+
+    # comparison helpers (non-differentiable, return ndarray masks)
+    def __gt__(self, other):
+        return self.data > (other.data if isinstance(other, Tensor) else other)
+
+    def __lt__(self, other):
+        return self.data < (other.data if isinstance(other, Tensor) else other)
+
+    def __ge__(self, other):
+        return self.data >= (other.data if isinstance(other, Tensor) else other)
+
+    def __le__(self, other):
+        return self.data <= (other.data if isinstance(other, Tensor) else other)
+
+
+def _axis_size(shape: Tuple[int, ...], axis) -> int:
+    if isinstance(axis, tuple):
+        n = 1
+        for a in axis:
+            n *= shape[a % len(shape)]
+        return n
+    return shape[axis % len(shape)]
+
+
+# ----------------------------------------------------------------------
+# free functions
+# ----------------------------------------------------------------------
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    ts = [astensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in ts], axis=axis)
+    rg = is_grad_enabled() and any(t.requires_grad for t in ts)
+    out = Tensor(data)
+    out.requires_grad = rg
+    if rg:
+        out._parents = tuple(ts)
+        sizes = [t.data.shape[axis] for t in ts]
+        offsets = np.cumsum([0] + sizes)
+        def _bw(g):
+            g = np.asarray(g)
+            for t, lo, hi in zip(ts, offsets[:-1], offsets[1:]):
+                idx = [slice(None)] * g.ndim
+                idx[axis] = slice(lo, hi)
+                t._accum(g[tuple(idx)])
+        out._backward = _bw
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new ``axis``."""
+    ts = [astensor(t) for t in tensors]
+    data = np.stack([t.data for t in ts], axis=axis)
+    rg = is_grad_enabled() and any(t.requires_grad for t in ts)
+    out = Tensor(data)
+    out.requires_grad = rg
+    if rg:
+        out._parents = tuple(ts)
+        def _bw(g):
+            g = np.asarray(g)
+            for i, t in enumerate(ts):
+                idx = [slice(None)] * g.ndim
+                idx[axis] = i
+                t._accum(g[tuple(idx)])
+        out._backward = _bw
+    return out
+
+
+def where(cond: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Differentiable select: ``cond ? a : b`` (cond is a plain mask)."""
+    a, b = astensor(a), astensor(b)
+    cond = np.asarray(cond, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+    rg = is_grad_enabled() and (a.requires_grad or b.requires_grad)
+    out = Tensor(out_data)
+    out.requires_grad = rg
+    if rg:
+        out._parents = (a, b)
+        def _bw(g):
+            a._accum(np.where(cond, g, 0.0))
+            b._accum(np.where(cond, 0.0, g))
+        out._backward = _bw
+    return out

@@ -1,0 +1,70 @@
+"""Learning-rate schedules: constant, step decay, cosine with warmup."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .optim import Optimizer
+
+__all__ = ["LRSchedule", "ConstantLR", "StepLR", "CosineWarmup"]
+
+
+class LRSchedule:
+    """Base schedule: call :meth:`step` once per optimiser update."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: Optional[float] = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self.updates = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.updates += 1
+        lr = self.lr_at(self.updates)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the LR by ``gamma`` every ``step_size`` updates."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.5, base_lr: Optional[float] = None):
+        super().__init__(optimizer, base_lr)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class CosineWarmup(LRSchedule):
+    """Linear warmup to ``base_lr`` then cosine decay to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int,
+                 total_steps: int, min_lr: float = 0.0,
+                 base_lr: Optional[float] = None):
+        super().__init__(optimizer, base_lr)
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * step / max(1, self.warmup_steps)
+        frac = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
+        frac = min(max(frac, 0.0), 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * frac))

@@ -1,0 +1,22 @@
+"""End-to-end hybrid forecasting workflow (paper Fig. 1 / §III-A)."""
+
+from .forecast import (
+    DualModelForecaster,
+    FieldWindow,
+    ForecastResult,
+    SurrogateForecaster,
+)
+from .hybrid import EpisodeReport, HybridWorkflow, WorkflowReport
+from .ensemble import EnsembleForecast, EnsembleForecaster
+
+__all__ = [
+    "FieldWindow",
+    "ForecastResult",
+    "SurrogateForecaster",
+    "DualModelForecaster",
+    "EpisodeReport",
+    "HybridWorkflow",
+    "WorkflowReport",
+    "EnsembleForecast",
+    "EnsembleForecaster",
+]

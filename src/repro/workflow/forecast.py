@@ -1,0 +1,208 @@
+"""Surrogate forecasting: single episodes and dual-model rollouts.
+
+Implements the inference side of the paper's workflow (§III-A):
+
+* :class:`SurrogateForecaster` — runs one trained surrogate on an
+  episode assembled from an initial condition plus future boundary
+  conditions, handling normalisation, mesh padding and fp16 staging.
+* :class:`DualModelForecaster` — the paper's long-horizon scheme: a
+  coarse-interval model forecasts the full horizon, then each coarse
+  snapshot seeds the fine-interval model, yielding the full horizon at
+  fine resolution (12 days of half-hourly snapshots from 24 coarse
+  steps × 24 fine steps).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import assemble_episode_input
+from ..data.preprocess import Normalizer, pad_mesh, padded_shape, unpad_mesh
+from ..swin.model import CoastalSurrogate
+from ..tensor import Tensor, no_grad
+
+__all__ = ["FieldWindow", "ForecastResult", "SurrogateForecaster",
+           "DualModelForecaster"]
+
+
+@dataclass
+class FieldWindow:
+    """A window of physical fields (denormalised, unpadded).
+
+    ``u3, v3, w3``: (T, H, W, D); ``zeta``: (T, H, W).
+    """
+
+    u3: np.ndarray
+    v3: np.ndarray
+    w3: np.ndarray
+    zeta: np.ndarray
+
+    @property
+    def T(self) -> int:
+        return self.zeta.shape[0]
+
+    def snapshot(self, t: int) -> "FieldWindow":
+        """Single-snapshot view (T = 1)."""
+        return FieldWindow(self.u3[t:t + 1], self.v3[t:t + 1],
+                           self.w3[t:t + 1], self.zeta[t:t + 1])
+
+    @staticmethod
+    def concat(windows: Sequence["FieldWindow"]) -> "FieldWindow":
+        return FieldWindow(
+            np.concatenate([w.u3 for w in windows], axis=0),
+            np.concatenate([w.v3 for w in windows], axis=0),
+            np.concatenate([w.w3 for w in windows], axis=0),
+            np.concatenate([w.zeta for w in windows], axis=0),
+        )
+
+
+@dataclass
+class ForecastResult:
+    """Forecast plus bookkeeping."""
+
+    fields: FieldWindow
+    inference_seconds: float
+    episodes: int = 1
+
+
+class SurrogateForecaster:
+    """Run a trained surrogate on (IC, boundary-condition) episodes."""
+
+    def __init__(self, model: CoastalSurrogate, normalizer: Normalizer,
+                 boundary_width: int = 1):
+        self.model = model
+        self.normalizer = normalizer
+        self.boundary_width = boundary_width
+        cfg = model.config
+        self.pad_hw = (cfg.mesh[0], cfg.mesh[1])
+
+    # ------------------------------------------------------------------
+    def _normalize_window(self, window: FieldWindow
+                          ) -> Dict[str, np.ndarray]:
+        ph, pw = self.pad_hw
+        out = {}
+        for var, arr in (("u3", window.u3), ("v3", window.v3),
+                         ("w3", window.w3), ("zeta", window.zeta)):
+            a = self.normalizer.normalize(var, arr.astype(np.float32))
+            a = np.moveaxis(a, 0, -1)
+            a = pad_mesh(a, ph, pw)
+            out[var] = np.moveaxis(a, -1, 0)
+        return out
+
+    def forecast_episode(self, reference: FieldWindow) -> ForecastResult:
+        """Forecast one episode.
+
+        Parameters
+        ----------
+        reference: window of T snapshots; slot 0 is consumed as the
+            initial condition, slots 1..T−1 contribute only their
+            lateral boundary rims (the surrogate never sees the interior
+            of future snapshots).
+        """
+        T = reference.T
+        cfg = self.model.config
+        if T != cfg.time_steps:
+            raise ValueError(
+                f"window length {T} != model time_steps {cfg.time_steps}")
+        norm = self._normalize_window(reference)
+        x3d, x2d = assemble_episode_input(
+            norm["u3"], norm["v3"], norm["w3"], norm["zeta"],
+            self.boundary_width)
+
+        self.model.eval()
+        t0 = time.perf_counter()
+        with no_grad():
+            p3d, p2d = self.model(Tensor(x3d[None].astype(np.float32)),
+                                  Tensor(x2d[None].astype(np.float32)))
+        seconds = time.perf_counter() - t0
+
+        H, W = reference.zeta.shape[1:3]
+        # (1, 3, H', W', D, T) → per-variable (T, H, W, D)
+        vol = np.moveaxis(p3d.data[0], -1, 1)      # (3, T, H', W', D)
+        zet = np.moveaxis(p2d.data[0, 0], -1, 0)   # (T, H', W')
+        def crop_seq(a: np.ndarray) -> np.ndarray:
+            return np.ascontiguousarray(a[:, :H, :W, ...])
+
+        u3 = crop_seq(self.normalizer.denormalize("u3", vol[0]))
+        v3 = crop_seq(self.normalizer.denormalize("v3", vol[1]))
+        w3 = crop_seq(self.normalizer.denormalize("w3", vol[2]))
+        zeta = crop_seq(self.normalizer.denormalize("zeta", zet))
+
+        # the initial condition is known exactly — keep it
+        u3[0], v3[0], w3[0] = reference.u3[0], reference.v3[0], reference.w3[0]
+        zeta[0] = reference.zeta[0]
+        return ForecastResult(FieldWindow(u3, v3, w3, zeta), seconds)
+
+
+class DualModelForecaster:
+    """Coarse 12-day model + fine 12-hour model (paper §III-A).
+
+    The coarse model forecasts the full horizon at the coarse interval;
+    each coarse snapshot then serves as the initial condition of a fine
+    episode.  Boundary conditions at the fine interval come from the
+    reference data (as in the paper, future lateral boundary conditions
+    are exogenous inputs supplied by a larger-domain model).
+    """
+
+    def __init__(self, coarse: SurrogateForecaster, fine: SurrogateForecaster,
+                 coarse_ratio: int = 24):
+        self.coarse = coarse
+        self.fine = fine
+        self.coarse_ratio = int(coarse_ratio)
+
+    def forecast(self, reference_fine: FieldWindow) -> ForecastResult:
+        """Full-horizon forecast at the fine interval.
+
+        Parameters
+        ----------
+        reference_fine: (T_c · ratio) fine-interval snapshots providing
+            the initial condition (slot 0) and boundary rims throughout.
+
+        Returns
+        -------
+        ForecastResult whose fields hold T_c · ratio fine snapshots.
+        """
+        Tc = self.coarse.model.config.time_steps
+        Tf = self.fine.model.config.time_steps
+        ratio = self.coarse_ratio
+        if Tf != ratio:
+            raise ValueError(
+                f"fine model time_steps {Tf} must equal coarse_ratio {ratio}")
+        need = Tc * ratio
+        if reference_fine.T < need:
+            raise ValueError(
+                f"need {need} fine snapshots, got {reference_fine.T}")
+
+        # coarse window: every ratio-th fine snapshot
+        sub = slice(0, need, ratio)
+        coarse_ref = FieldWindow(
+            reference_fine.u3[sub], reference_fine.v3[sub],
+            reference_fine.w3[sub], reference_fine.zeta[sub])
+        coarse_out = self.coarse.forecast_episode(coarse_ref)
+
+        total_seconds = coarse_out.inference_seconds
+        pieces: List[FieldWindow] = []
+        episodes = 1
+        for k in range(Tc):
+            fine_ref_slice = slice(k * ratio, (k + 1) * ratio)
+            fine_ref = FieldWindow(
+                reference_fine.u3[fine_ref_slice].copy(),
+                reference_fine.v3[fine_ref_slice].copy(),
+                reference_fine.w3[fine_ref_slice].copy(),
+                reference_fine.zeta[fine_ref_slice].copy())
+            # seed the fine episode with the coarse model's snapshot k
+            fine_ref.u3[0] = coarse_out.fields.u3[k]
+            fine_ref.v3[0] = coarse_out.fields.v3[k]
+            fine_ref.w3[0] = coarse_out.fields.w3[k]
+            fine_ref.zeta[0] = coarse_out.fields.zeta[k]
+            out = self.fine.forecast_episode(fine_ref)
+            total_seconds += out.inference_seconds
+            episodes += 1
+            pieces.append(out.fields)
+
+        return ForecastResult(FieldWindow.concat(pieces), total_seconds,
+                              episodes)

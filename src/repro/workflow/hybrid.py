@@ -1,0 +1,174 @@
+"""Hybrid AI + ROMS workflow with physics verification (paper Fig. 1).
+
+For every forecast episode the workflow:
+
+1. runs the AI surrogate,
+2. verifies the water-mass residual of its output,
+3. on failure, reverts to the ROMS-like solver for that episode and
+   continues from the solver's state.
+
+The report accounts both *measured* wall-clock on this machine and
+*modelled* paper-scale timing (through
+:class:`~repro.hpc.roms_perf.RomsPerfModel`), which regenerates
+Fig. 8's time/speedup-vs-threshold curves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..ocean.model import RomsLikeModel, Snapshot
+from ..ocean.swe import ShallowWaterState
+from ..physics.verifier import VerificationResult, Verifier
+from .forecast import FieldWindow, SurrogateForecaster
+
+__all__ = ["EpisodeReport", "WorkflowReport", "HybridWorkflow"]
+
+
+@dataclass
+class EpisodeReport:
+    """Outcome of one episode of the hybrid loop."""
+
+    index: int
+    verification: VerificationResult
+    used_fallback: bool
+    surrogate_seconds: float
+    fallback_seconds: float
+
+
+@dataclass
+class WorkflowReport:
+    """End-to-end accounting for a hybrid run."""
+
+    episodes: List[EpisodeReport] = field(default_factory=list)
+
+    @property
+    def n_episodes(self) -> int:
+        return len(self.episodes)
+
+    @property
+    def n_fallbacks(self) -> int:
+        return sum(e.used_fallback for e in self.episodes)
+
+    @property
+    def pass_rate(self) -> float:
+        if not self.episodes:
+            return float("nan")
+        return 1.0 - self.n_fallbacks / self.n_episodes
+
+    @property
+    def surrogate_seconds(self) -> float:
+        return sum(e.surrogate_seconds for e in self.episodes)
+
+    @property
+    def fallback_seconds(self) -> float:
+        return sum(e.fallback_seconds for e in self.episodes)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.surrogate_seconds + self.fallback_seconds
+
+
+class HybridWorkflow:
+    """Episode loop: surrogate → verify → (maybe) solver fallback.
+
+    Parameters
+    ----------
+    forecaster: trained surrogate wrapper.
+    ocean: the ROMS-like model used both for fallback simulation and
+        for the verification geometry.
+    verifier: mass-conservation check; its threshold is the workflow's
+        quality gate.
+    """
+
+    def __init__(self, forecaster: SurrogateForecaster,
+                 ocean: RomsLikeModel, verifier: Verifier):
+        self.forecaster = forecaster
+        self.ocean = ocean
+        self.verifier = verifier
+
+    # ------------------------------------------------------------------
+    def run(self, reference: FieldWindow,
+            fallback_states: Sequence[ShallowWaterState],
+            threshold: Optional[float] = None
+            ) -> tuple[FieldWindow, WorkflowReport]:
+        """Run the hybrid loop over consecutive episodes.
+
+        Parameters
+        ----------
+        reference: (n_episodes · T) snapshots providing ICs and boundary
+            conditions (see :meth:`SurrogateForecaster.forecast_episode`).
+        fallback_states: solver prognostic states aligned with each
+            episode start, used when an episode must be re-simulated.
+        threshold: override the verifier's threshold (Fig. 8 sweeps).
+
+        Returns
+        -------
+        (forecast fields over the full horizon, workflow report).
+        """
+        T = self.forecaster.model.config.time_steps
+        n_episodes = reference.T // T
+        if n_episodes == 0:
+            raise ValueError(f"reference window of {reference.T} < T={T}")
+        if len(fallback_states) < n_episodes:
+            raise ValueError("need one fallback state per episode")
+
+        report = WorkflowReport()
+        pieces: List[FieldWindow] = []
+        prev_fields: Optional[FieldWindow] = None
+
+        for ep in range(n_episodes):
+            sl = slice(ep * T, (ep + 1) * T)
+            ref = FieldWindow(reference.u3[sl].copy(), reference.v3[sl].copy(),
+                              reference.w3[sl].copy(),
+                              reference.zeta[sl].copy())
+            if prev_fields is not None:
+                # chain episodes: IC is the previous episode's last output
+                ref.u3[0] = prev_fields.u3[-1]
+                ref.v3[0] = prev_fields.v3[-1]
+                ref.w3[0] = prev_fields.w3[-1]
+                ref.zeta[0] = prev_fields.zeta[-1]
+
+            result = self.forecaster.forecast_episode(ref)
+            ver = self.verifier.verify(result.fields.zeta, result.fields.u3,
+                                       result.fields.v3, threshold)
+
+            fallback_seconds = 0.0
+            if ver.passed:
+                fields = result.fields
+                used_fallback = False
+            else:
+                t0 = time.perf_counter()
+                snaps = self.ocean.forecast(fallback_states[ep], T - 1)
+                fallback_seconds = time.perf_counter() - t0
+                fields = self._snaps_to_window(ref, snaps)
+                used_fallback = True
+
+            pieces.append(fields)
+            prev_fields = fields
+            report.episodes.append(EpisodeReport(
+                index=ep, verification=ver, used_fallback=used_fallback,
+                surrogate_seconds=result.inference_seconds,
+                fallback_seconds=fallback_seconds,
+            ))
+
+        return FieldWindow.concat(pieces), report
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snaps_to_window(ref: FieldWindow,
+                         snaps: Sequence[Snapshot]) -> FieldWindow:
+        """IC snapshot followed by the solver's T−1 forecast snapshots."""
+        u3 = np.concatenate(
+            [ref.u3[:1], np.stack([s.u3 for s in snaps])], axis=0)
+        v3 = np.concatenate(
+            [ref.v3[:1], np.stack([s.v3 for s in snaps])], axis=0)
+        w3 = np.concatenate(
+            [ref.w3[:1], np.stack([s.w3 for s in snaps])], axis=0)
+        zeta = np.concatenate(
+            [ref.zeta[:1], np.stack([s.zeta for s in snaps])], axis=0)
+        return FieldWindow(u3, v3, w3, zeta)

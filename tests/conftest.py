@@ -1,0 +1,104 @@
+"""Shared fixtures: a tiny estuary, tiny archives, tiny surrogate.
+
+Session-scoped so expensive setup (solver spin-up, archive generation)
+runs once.  All sizes are the smallest that still exercise every code
+path: two patch mergings, shifted windows, multi-episode stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SlidingWindowDataset, build_archives
+from repro.ocean import (
+    OceanConfig,
+    RomsLikeModel,
+    ShallowWaterSolver,
+    SWEConfig,
+    TidalForcing,
+    make_charlotte_grid,
+    synth_estuary_bathymetry,
+)
+from repro.swin import CoastalSurrogate, SurrogateConfig
+
+# ----------------------------------------------------------------------
+# geometry / solver fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def tiny_grid():
+    """14×15 cell grid (~1 km spacing) — smallest realistic estuary."""
+    return make_charlotte_grid(nx=14, ny=15, length_x=14_000.0,
+                               length_y=15_000.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_depth(tiny_grid):
+    return synth_estuary_bathymetry(tiny_grid)
+
+
+@pytest.fixture(scope="session")
+def tiny_solver(tiny_grid, tiny_depth):
+    return ShallowWaterSolver(tiny_grid, tiny_depth, TidalForcing(),
+                              SWEConfig())
+
+
+@pytest.fixture(scope="session")
+def tiny_ocean_config():
+    return OceanConfig(nx=14, ny=15, nz=6, length_x=14_000.0,
+                       length_y=15_000.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_ocean(tiny_ocean_config):
+    return RomsLikeModel(tiny_ocean_config)
+
+
+# ----------------------------------------------------------------------
+# data fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(tmp_path_factory, tiny_ocean_config):
+    """Archives: half a training day + a quarter test day of snapshots."""
+    root = tmp_path_factory.mktemp("archives")
+    return build_archives(root, tiny_ocean_config,
+                          train_days=0.5, test_days=0.25,
+                          spinup_days=0.25)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_bundle):
+    store = tiny_bundle.open_train()
+    norm = tiny_bundle.open_normalizer()
+    return SlidingWindowDataset(store, norm, window=4, stride=2,
+                                pad_multiple=(4, 4))
+
+
+# ----------------------------------------------------------------------
+# model fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def tiny_surrogate_config():
+    """Mesh 16×16×6 (padded from 15×14), T=4, two mergings."""
+    return SurrogateConfig(
+        mesh=(16, 16, 6), time_steps=4,
+        patch3d=(4, 4, 2), patch2d=(4, 4),
+        embed_dim=8, num_heads=(2, 4, 8), depths=(2, 2, 2),
+        window_first=(2, 2, 2, 2), window_rest=(2, 2, 2, 2),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_surrogate(tiny_surrogate_config):
+    return CoastalSurrogate(tiny_surrogate_config)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,273 @@
+"""NN layers: modules, norms, activations, dropout, MLP, convolutions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2d,
+    Conv3d,
+    ConvTranspose2d,
+    ConvTranspose3d,
+    Dropout,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    gelu,
+)
+from repro.nn import init
+from repro.tensor import Tensor, gradcheck
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+                self.sub = Linear(2, 2)
+
+        m = M()
+        names = dict(m.named_parameters())
+        assert "w" in names
+        assert "sub.weight" in names and "sub.bias" in names
+
+    def test_num_parameters(self):
+        lin = Linear(4, 5)
+        assert lin.num_parameters() == 4 * 5 + 5
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_state_dict_roundtrip(self):
+        a, b = Linear(3, 4), Linear(3, 4)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        np.testing.assert_array_equal(a.bias.data, b.bias.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        a, b = Linear(3, 4), Linear(3, 5)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_load_state_dict_missing_key_strict(self):
+        a = Linear(3, 4)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_zero_grad_clears(self):
+        lin = Linear(2, 2)
+        out = lin(Tensor(np.ones((1, 2), np.float32)))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_module_list_iterates_in_order(self):
+        mods = [Linear(1, 1) for _ in range(3)]
+        ml = ModuleList(mods)
+        assert list(ml) == mods
+        assert len(ml) == 3
+        assert ml[1] is mods[1]
+
+    def test_sequential_applies_in_order(self, rng):
+        seq = Sequential(Identity(), ReLU())
+        x = rng.normal(size=(3,)).astype(np.float32)
+        np.testing.assert_allclose(seq(Tensor(x)).data, np.maximum(x, 0))
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm(3)
+        sd = bn.state_dict()
+        assert "running_mean" in sd and "running_var" in sd
+
+
+class TestLinear:
+    def test_forward_value(self, rng):
+        lin = Linear(3, 2)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+        expected = x @ lin.weight.data + lin.bias.data
+        np.testing.assert_allclose(lin(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_no_bias(self):
+        lin = Linear(3, 2, bias=False)
+        assert lin.bias is None
+        assert lin.num_parameters() == 6
+
+    def test_batch_dims_broadcast(self, rng):
+        lin = Linear(4, 3)
+        x = Tensor(rng.normal(size=(2, 5, 4)).astype(np.float32))
+        assert lin(x).shape == (2, 5, 3)
+
+    def test_grad_flows_to_params(self, rng):
+        lin = Linear(3, 2)
+        lin(Tensor(rng.normal(size=(4, 3)).astype(np.float32))).sum().backward()
+        assert lin.weight.grad is not None and lin.bias.grad is not None
+
+
+class TestNorms:
+    def test_layernorm_zero_mean_unit_var(self, rng):
+        ln = LayerNorm(16)
+        x = Tensor(rng.normal(2.0, 3.0, size=(4, 16)).astype(np.float32))
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_gradcheck(self, rng):
+        ln = LayerNorm(6)
+
+        def f(x):
+            return ln(x)
+
+        gradcheck(f, [rng.normal(size=(3, 6))], atol=1e-3)
+
+    def test_batchnorm_train_normalises(self, rng):
+        bn = BatchNorm(4)
+        x = Tensor(rng.normal(5.0, 2.0, size=(8, 4, 6)).astype(np.float32))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2)), 0.0, atol=1e-4)
+
+    def test_batchnorm_updates_running_stats(self, rng):
+        bn = BatchNorm(3)
+        x = Tensor(rng.normal(10.0, 1.0, size=(16, 3, 4)).astype(np.float32))
+        bn(x)
+        assert np.all(bn.running_mean > 0.5)  # moved toward 10 by momentum
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        bn = BatchNorm(3)
+        x = Tensor(rng.normal(10.0, 1.0, size=(16, 3, 4)).astype(np.float32))
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        out = bn(x).data
+        # with converged running stats, eval output ≈ normalised
+        assert abs(out.mean()) < 0.2
+
+    def test_batchnorm_5d_input(self, rng):
+        bn = BatchNorm(2)
+        x = Tensor(rng.normal(size=(2, 2, 3, 3, 3)).astype(np.float32))
+        assert bn(x).shape == x.shape
+
+
+class TestActivations:
+    def test_gelu_known_values(self):
+        # GELU(0) = 0; GELU(x) → x for large x; GELU(-x) → 0
+        out = gelu(Tensor(np.array([0.0, 10.0, -10.0]))).data
+        np.testing.assert_allclose(out[0], 0.0, atol=1e-8)
+        np.testing.assert_allclose(out[1], 10.0, rtol=1e-6)
+        np.testing.assert_allclose(out[2], 0.0, atol=1e-6)
+
+    def test_gelu_gradcheck(self, rng):
+        gradcheck(lambda x: gelu(x), [rng.normal(size=(10,))])
+
+    def test_gelu_module_equals_function(self, rng):
+        x = Tensor(rng.normal(size=(5,)))
+        np.testing.assert_array_equal(GELU()(x).data, gelu(x).data)
+
+    def test_dropout_eval_is_identity(self, rng):
+        d = Dropout(0.5)
+        d.eval()
+        x = Tensor(rng.normal(size=(100,)).astype(np.float32))
+        np.testing.assert_array_equal(d(x).data, x.data)
+
+    def test_dropout_preserves_expectation(self, rng):
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones(100_000, np.float32))
+        out = d(x).data
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_dropout_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestMLP:
+    def test_hidden_expansion(self):
+        mlp = MLP(8, hidden_ratio=4.0)
+        assert mlp.fc1.out_features == 32
+        assert mlp.fc2.out_features == 8
+
+    def test_shape_preserved(self, rng):
+        mlp = MLP(8)
+        x = Tensor(rng.normal(size=(2, 5, 8)).astype(np.float32))
+        assert mlp(x).shape == (2, 5, 8)
+
+    def test_backward(self, rng):
+        mlp = MLP(6)
+        x = Tensor(rng.normal(size=(3, 6)).astype(np.float32),
+                   requires_grad=True)
+        mlp(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in mlp.parameters())
+
+
+class TestConvLayers:
+    def test_conv2d_shape(self, rng):
+        c = Conv2d(3, 8, 3, stride=2, padding=1)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        assert c(x).shape == (2, 8, 4, 4)
+
+    def test_conv3d_shape(self, rng):
+        c = Conv3d(2, 4, (2, 2, 1))
+        x = Tensor(rng.normal(size=(1, 2, 6, 6, 3)).astype(np.float32))
+        assert c(x).shape == (1, 4, 5, 5, 3)
+
+    def test_convtranspose2d_shape(self, rng):
+        c = ConvTranspose2d(4, 2, 2, stride=2)
+        x = Tensor(rng.normal(size=(1, 4, 3, 5)).astype(np.float32))
+        assert c(x).shape == (1, 2, 6, 10)
+
+    def test_convtranspose3d_shape(self, rng):
+        c = ConvTranspose3d(4, 2, (2, 2, 2), stride=(2, 2, 2))
+        x = Tensor(rng.normal(size=(1, 4, 2, 2, 2)).astype(np.float32))
+        assert c(x).shape == (1, 2, 4, 4, 4)
+
+    def test_wrong_rank_raises(self, rng):
+        c = Conv2d(1, 1, 1)
+        with pytest.raises(ValueError):
+            c(Tensor(rng.normal(size=(1, 1, 4)).astype(np.float32)))
+
+    def test_conv_roundtrip_downsample_upsample(self, rng):
+        """Patch embed then recover restores the spatial extent."""
+        down = Conv2d(1, 4, 4, stride=4)
+        up = ConvTranspose2d(4, 1, 4, stride=4)
+        x = Tensor(rng.normal(size=(1, 1, 8, 8)).astype(np.float32))
+        assert up(down(x)).shape == x.shape
+
+
+class TestInit:
+    def test_trunc_normal_bounded(self):
+        r = init.default_rng(0)
+        w = init.trunc_normal((1000,), r, std=0.02)
+        assert np.abs(w).max() <= 2.0 * 0.02 + 1e-9
+
+    def test_trunc_normal_deterministic(self):
+        a = init.trunc_normal((50,), init.default_rng(7))
+        b = init.trunc_normal((50,), init.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_xavier_scale(self):
+        w = init.xavier_uniform((100, 100), init.default_rng(0))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound + 1e-9
+
+    def test_kaiming_fan_in(self):
+        w = init.kaiming_uniform((64, 32, 3, 3), init.default_rng(0))
+        assert w.shape == (64, 32, 3, 3)
+        assert np.isfinite(w).all()
+
+    def test_zeros_ones(self):
+        assert init.zeros((2, 2)).sum() == 0.0
+        assert init.ones((2, 2)).sum() == 4.0

@@ -1,0 +1,110 @@
+"""Patch embed / merge / recover: shape algebra and information flow."""
+
+import numpy as np
+import pytest
+
+from repro.swin import (
+    PatchEmbed2d,
+    PatchEmbed3d,
+    PatchMerging4d,
+    PatchRecover2d,
+    PatchRecover3d,
+)
+from repro.tensor import Tensor
+
+
+class TestPatchEmbed3d:
+    def test_shape(self, rng):
+        pe = PatchEmbed3d(3, 16, (4, 4, 2))
+        x = Tensor(rng.normal(size=(2, 3, 16, 8, 4, 5)).astype(np.float32))
+        assert pe(x).shape == (2, 16, 4, 2, 2, 5)
+
+    def test_indivisible_raises(self, rng):
+        pe = PatchEmbed3d(3, 8, (4, 4, 2))
+        x = Tensor(rng.normal(size=(1, 3, 15, 8, 4, 2)).astype(np.float32))
+        with pytest.raises(ValueError, match="divisible"):
+            pe(x)
+
+    def test_time_slices_independent(self, rng):
+        """Embedding is per-time-slice: changing slice 1 leaves slice 0."""
+        pe = PatchEmbed3d(1, 4, (2, 2, 2))
+        x = rng.normal(size=(1, 1, 4, 4, 2, 3)).astype(np.float32)
+        base = pe(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[..., 1] += 1.0
+        out = pe(Tensor(x2)).data
+        np.testing.assert_allclose(out[..., 0], base[..., 0], atol=1e-6)
+        assert np.abs(out[..., 1] - base[..., 1]).max() > 1e-4
+
+
+class TestPatchEmbed2d:
+    def test_adds_singleton_depth(self, rng):
+        pe = PatchEmbed2d(1, 16, (4, 4))
+        x = Tensor(rng.normal(size=(2, 1, 16, 8, 5)).astype(np.float32))
+        assert pe(x).shape == (2, 16, 4, 2, 1, 5)
+
+    def test_gradients(self, rng):
+        pe = PatchEmbed2d(1, 4, (2, 2))
+        x = Tensor(rng.normal(size=(1, 1, 4, 4, 2)).astype(np.float32),
+                   requires_grad=True)
+        pe(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestPatchMerging4d:
+    def test_shape_halves_space_doubles_channels(self, rng):
+        pm = PatchMerging4d(8)
+        x = Tensor(rng.normal(size=(1, 4, 4, 2, 3, 8)).astype(np.float32))
+        assert pm(x).shape == (1, 2, 2, 1, 3, 16)
+
+    def test_time_dim_untouched(self, rng):
+        pm = PatchMerging4d(4)
+        for T in (1, 2, 5):
+            x = Tensor(rng.normal(size=(1, 2, 2, 2, T, 4)).astype(np.float32))
+            assert pm(x).shape[4] == T
+
+    def test_odd_dims_raise(self, rng):
+        pm = PatchMerging4d(4)
+        x = Tensor(rng.normal(size=(1, 3, 4, 2, 2, 4)).astype(np.float32))
+        with pytest.raises(ValueError, match="even"):
+            pm(x)
+
+    def test_merging_mixes_exactly_the_2x2x2_neighbourhood(self, rng):
+        """Perturbing one cell affects only its merged output cell."""
+        pm = PatchMerging4d(2)
+        x = rng.normal(size=(1, 4, 4, 2, 1, 2)).astype(np.float32)
+        base = pm(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 0, 0, 0, 0] += 1.0   # inside merged cell (0, 0, 0)
+        out = pm(Tensor(x2)).data
+        diff = np.abs(out - base).sum(axis=-1)[0, :, :, :, 0]
+        assert diff[0, 0, 0] > 1e-5
+        assert diff[1:, :, :].max() < 1e-7
+        assert diff[0, 1:, :].max() < 1e-7
+
+
+class TestPatchRecover:
+    def test_3d_restores_full_mesh(self, rng):
+        pr = PatchRecover3d(8, 3, (4, 4, 2))
+        x = Tensor(rng.normal(size=(1, 8, 4, 2, 2, 3)).astype(np.float32))
+        assert pr(x).shape == (1, 3, 16, 8, 4, 3)
+
+    def test_2d_restores_full_mesh(self, rng):
+        pr = PatchRecover2d(8, 1, (4, 4))
+        x = Tensor(rng.normal(size=(1, 8, 4, 2, 3)).astype(np.float32))
+        assert pr(x).shape == (1, 1, 16, 8, 3)
+
+    def test_embed_recover_roundtrip_shapes(self, rng):
+        """PatchEmbed3d ∘ PatchRecover3d preserves the mesh exactly."""
+        pe = PatchEmbed3d(3, 8, (4, 4, 2))
+        pr = PatchRecover3d(8, 3, (4, 4, 2))
+        x = Tensor(rng.normal(size=(1, 3, 8, 8, 4, 2)).astype(np.float32))
+        assert pr(pe(x)).shape == x.shape
+
+    def test_gradients_flow_through_recover(self, rng):
+        pr = PatchRecover2d(4, 1, (2, 2))
+        x = Tensor(rng.normal(size=(1, 4, 3, 3, 2)).astype(np.float32),
+                   requires_grad=True)
+        pr(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in pr.parameters())
