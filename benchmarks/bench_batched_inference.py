@@ -1,0 +1,138 @@
+"""Batched vs serial inference throughput (the batched-engine tentpole).
+
+The inference stack stages N episodes through one vectorised model
+forward instead of N batch-1 forwards.  This benchmark measures the
+throughput gain at the paper's motivating workload — an ensemble of
+perturbed initial conditions ("an ensemble of tens of thousands of
+models for uncertainty quantification", §I) — in two regimes:
+
+* **Serving scale** (the 16×16×6 operational mesh of the tests and
+  examples): per-episode dispatch overhead dominates, so the batched
+  engine must clear ≥ 1.5× throughput over the serial path at 8
+  members.
+* **Bench scale** (the 64×64×6 mesh of the benchmark suite): on this
+  single-core NumPy backend the forward is memory-bandwidth-bound and
+  a batch-1 chain is more cache-friendly, so the batched gain shrinks;
+  the numbers are reported for the record.  (On the paper's GPUs the
+  large-mesh regime is exactly where batching pays most.)
+
+Both regimes also check that batching is a pure optimisation: fields
+identical to the serial path within float tolerance.
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import Normalizer
+from repro.eval import compute_errors_many, format_table
+from repro.swin import CoastalSurrogate, SurrogateConfig
+from repro.workflow import (
+    DualModelForecaster,
+    EnsembleForecaster,
+    FieldWindow,
+    SurrogateForecaster,
+)
+
+from conftest import T
+
+N_MEMBERS = 8
+SERVING = SurrogateConfig(
+    mesh=(16, 16, 6), time_steps=4,
+    patch3d=(4, 4, 2), patch2d=(4, 4),
+    embed_dim=8, num_heads=(2, 4, 8), depths=(2, 2, 2),
+    window_first=(2, 2, 2, 2), window_rest=(2, 2, 2, 2),
+)
+
+
+def _time_paths(forecaster, members, repeats=3):
+    """Best-of-N wall clock for the serial loop and the batched pass."""
+    forecaster.forecast_episode(members[0])          # warm-up
+    serial_s, batched_s = float("inf"), float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        serial = [forecaster.forecast_episode(m) for m in members]
+        serial_s = min(serial_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched = forecaster.forecast_batch(members)
+        batched_s = min(batched_s, time.perf_counter() - t0)
+    for s, b in zip(serial, batched):                # pure optimisation
+        np.testing.assert_allclose(b.fields.zeta, s.fields.zeta,
+                                   rtol=1e-4, atol=1e-5)
+    return serial, batched, serial_s, batched_s
+
+
+def _row(label, n, seconds, baseline):
+    return [label, n, f"{seconds:.3f}", f"{n / seconds:.2f}",
+            f"{baseline / seconds:.2f}x"]
+
+
+def test_serving_scale_throughput(capsys):
+    """≥ 1.5× batched throughput at 8 members on the serving mesh."""
+    rng = np.random.default_rng(0)
+    norm = Normalizer({v: 0.0 for v in ("u3", "v3", "w3", "zeta")},
+                      {v: 1.0 for v in ("u3", "v3", "w3", "zeta")})
+    fc = SurrogateForecaster(CoastalSurrogate(SERVING), norm)
+    Ts = SERVING.time_steps
+    members = [
+        FieldWindow(rng.normal(size=(Ts, 15, 14, 6)),
+                    rng.normal(size=(Ts, 15, 14, 6)),
+                    rng.normal(size=(Ts, 15, 14, 6)),
+                    rng.normal(size=(Ts, 15, 14)))
+        for _ in range(N_MEMBERS)
+    ]
+    _, _, serial_s, batched_s = _time_paths(fc, members)
+    speedup = serial_s / batched_s
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Path", "Episodes", "Time [s]", "Episodes/s", "Speedup"],
+            [_row("serial", N_MEMBERS, serial_s, serial_s),
+             _row("batched", N_MEMBERS, batched_s, serial_s)],
+            title=f"Serving scale {SERVING.mesh}, T={Ts}, "
+                  f"{N_MEMBERS} ensemble members"))
+
+    assert speedup >= 1.5, (
+        f"batched path only {speedup:.2f}x over serial at "
+        f"{N_MEMBERS} members (serving scale)")
+
+
+def test_bench_scale_throughput(env, capsys):
+    """Bench-mesh numbers for the record (bandwidth-bound regime)."""
+    fc = env.fine_forecaster
+    reference = env.test_windows()[0]
+    ens = EnsembleForecaster(fc, n_members=N_MEMBERS,
+                             zeta_sigma=0.02, velocity_sigma=0.02, seed=0)
+    wet = env.ocean.solver.wet
+    members = [ens._perturbed(reference, m, wet)
+               for m in range(N_MEMBERS)]
+    serial, batched, serial_s, batched_s = _time_paths(fc, members,
+                                                       repeats=2)
+
+    # accuracy parity against the reference, wet cells only
+    err_serial = compute_errors_many([s.fields for s in serial],
+                                     [reference] * N_MEMBERS, wet=wet)
+    err_batched = compute_errors_many([b.fields for b in batched],
+                                      [reference] * N_MEMBERS, wet=wet)
+    assert abs(err_serial.rmse["zeta"] - err_batched.rmse["zeta"]) < 1e-4
+
+    # dual-model rollout: one coarse forward + ONE batched fine forward
+    horizon = env.test_windows(length=T * T)[0]
+    dual = DualModelForecaster(env.coarse_forecaster, fc, coarse_ratio=T)
+    t0 = time.perf_counter()
+    dual_out = dual.forecast(horizon)
+    dual_s = time.perf_counter() - t0
+
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["Path", "Episodes", "Time [s]", "Episodes/s", "Speedup"],
+            [_row("ensemble serial", N_MEMBERS, serial_s, serial_s),
+             _row("ensemble batched", N_MEMBERS, batched_s, serial_s),
+             [f"dual rollout ({dual_out.episodes} ep)", dual_out.episodes,
+              f"{dual_s:.3f}", f"{dual_out.episodes / dual_s:.2f}", "—"]],
+            title=f"Bench scale {env.fine_model.config.mesh}, T={T}, "
+                  f"{N_MEMBERS} ensemble members"))
+        print(f"ζ RMSE vs reference — serial: {err_serial.rmse['zeta']:.4f}, "
+              f"batched: {err_batched.rmse['zeta']:.4f}")

@@ -1,0 +1,14 @@
+"""Make ``repro`` importable when examples run from a source checkout.
+
+A no-op once the package is installed (``pip install -e .``); otherwise
+falls back to the repository's ``src/`` layout, so
+``python examples/<name>.py`` works without any PYTHONPATH setup.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))

@@ -15,6 +15,8 @@ import tempfile
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (src-checkout path setup)
+
 from repro.data import (
     DataLoader,
     SlidingWindowDataset,

@@ -12,8 +12,11 @@ Run:  python examples/ensemble_uncertainty.py
 
 from pathlib import Path
 import tempfile
+import time
 
 import numpy as np
+
+import _bootstrap  # noqa: F401  (src-checkout path setup)
 
 from repro.data import DataLoader, SlidingWindowDataset, build_archives
 from repro.eval import format_table
@@ -51,13 +54,26 @@ def main() -> None:
         w["w3"].astype(np.float64), w["zeta"].astype(np.float64))
 
     ocean = RomsLikeModel(ocean_cfg)
+    forecaster = SurrogateForecaster(model, norm)
     ensemble = EnsembleForecaster(
-        SurrogateForecaster(model, norm),
+        forecaster,
         n_members=N_MEMBERS, zeta_sigma=0.03, velocity_sigma=0.02)
-    print(f"running {N_MEMBERS}-member ensemble...")
+    print(f"running {N_MEMBERS}-member ensemble (one batched forward)...")
+    t0 = time.perf_counter()
     out = ensemble.forecast(reference, wet=ocean.solver.wet)
-    print(f"  total inference: {out.inference_seconds:.2f} s "
-          f"({out.inference_seconds / N_MEMBERS:.3f} s/member)")
+    batched_seconds = time.perf_counter() - t0
+    print(f"  batched: {batched_seconds:.2f} s "
+          f"({batched_seconds / N_MEMBERS:.3f} s/member, model forward "
+          f"{out.inference_seconds:.2f} s)")
+
+    # the same members one at a time — the pre-batching cost
+    t0 = time.perf_counter()
+    for m in range(N_MEMBERS):
+        forecaster.forecast_episode(
+            ensemble._perturbed(reference, m, ocean.solver.wet))
+    serial_seconds = time.perf_counter() - t0
+    print(f"  serial loop for comparison: {serial_seconds:.2f} s "
+          f"({serial_seconds / batched_seconds:.1f}x slower)")
 
     wet = ocean.solver.wet
     rows = []

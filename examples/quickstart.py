@@ -14,6 +14,8 @@ import tempfile
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (src-checkout path setup)
+
 from repro.data import DataLoader, SlidingWindowDataset, build_archives
 from repro.eval import compute_errors, format_sci
 from repro.ocean import OceanConfig, RomsLikeModel

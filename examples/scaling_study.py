@@ -15,6 +15,8 @@ Run:  python examples/scaling_study.py
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (src-checkout path setup)
+
 from repro.eval import format_table
 from repro.hpc import (
     DecomposedShallowWater,

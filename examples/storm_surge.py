@@ -12,6 +12,8 @@ Run:  python examples/storm_surge.py
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (src-checkout path setup)
+
 from repro.eval import format_table
 from repro.ocean import (
     OceanConfig,

@@ -15,6 +15,8 @@ from pathlib import Path
 
 import numpy as np
 
+import _bootstrap  # noqa: F401  (src-checkout path setup)
+
 from repro.data import DataLoader, SlidingWindowDataset, build_archives
 from repro.ocean import OceanConfig
 from repro.swin import CoastalSurrogate, SurrogateConfig

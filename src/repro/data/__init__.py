@@ -14,7 +14,12 @@ from .preprocess import (
     padded_shape,
     unpad_mesh,
 )
-from .dataset import EpisodeSample, SlidingWindowDataset, assemble_episode_input
+from .dataset import (
+    EpisodeSample,
+    SlidingWindowDataset,
+    assemble_episode_input,
+    assemble_episode_input_batch,
+)
 from .loader import Batch, DataLoader
 from .builder import ArchiveBundle, build_archives, resample_store
 from .cache import CachedStore, CacheStats
@@ -32,6 +37,7 @@ __all__ = [
     "EpisodeSample",
     "SlidingWindowDataset",
     "assemble_episode_input",
+    "assemble_episode_input_batch",
     "Batch",
     "DataLoader",
     "ArchiveBundle",

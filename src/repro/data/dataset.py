@@ -23,7 +23,8 @@ import numpy as np
 from .preprocess import Normalizer, pad_mesh, padded_shape
 from .store import SnapshotStore
 
-__all__ = ["EpisodeSample", "SlidingWindowDataset", "assemble_episode_input"]
+__all__ = ["EpisodeSample", "SlidingWindowDataset", "assemble_episode_input",
+           "assemble_episode_input_batch"]
 
 
 @dataclass
@@ -46,21 +47,49 @@ class EpisodeSample:
     start: int
 
 
-def _rim_only(field: np.ndarray, width: int) -> np.ndarray:
-    """Keep a boundary rim of ``width`` cells on the (H, W) plane."""
-    out = np.zeros_like(field)
-    w = width
-    out[:w, ...] = field[:w, ...]
-    out[-w:, ...] = field[-w:, ...]
-    out[:, :w, ...] = field[:, :w, ...]
-    out[:, -w:, ...] = field[:, -w:, ...]
-    return out
+def _rim_mask(h: int, w: int, width: int, dtype) -> np.ndarray:
+    """(H, W) mask that is 1 on a boundary rim of ``width`` cells."""
+    mask = np.zeros((h, w), dtype=dtype)
+    mask[:width, :] = 1
+    mask[-width:, :] = 1
+    mask[:, :width] = 1
+    mask[:, -width:] = 1
+    return mask
+
+
+def assemble_episode_input_batch(u3: np.ndarray, v3: np.ndarray,
+                                 w3: np.ndarray, zeta: np.ndarray,
+                                 boundary_width: int = 1
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Build batched (x3d, x2d) surrogate inputs, vectorised over N.
+
+    Parameters
+    ----------
+    u3, v3, w3: (N, T, H, W, D) full fields; zeta: (N, T, H, W).
+    boundary_width: rim width preserved in slots 1..T−1.
+
+    Returns
+    -------
+    x3d: (N, 3, H, W, D, T); x2d: (N, 1, H, W, T).
+    """
+    vol = np.stack([u3, v3, w3], axis=1)       # (N, 3, T, H, W, D)
+    H, W = vol.shape[3:5]
+    mask = _rim_mask(H, W, boundary_width, vol.dtype)
+    x3d = vol * mask[:, :, None]               # rims only, all slots
+    x3d[:, :, 0] = vol[:, :, 0]                # slot 0: full IC
+    zeta = np.asarray(zeta)
+    x2d = zeta[:, None] * mask                 # (N, 1, T, H, W)
+    x2d[:, 0, 0] = zeta[:, 0]
+    # time axis last: (N, 3, H, W, D, T) / (N, 1, H, W, T)
+    return np.moveaxis(x3d, 2, -1), np.moveaxis(x2d, 2, -1)
 
 
 def assemble_episode_input(u3: np.ndarray, v3: np.ndarray, w3: np.ndarray,
                            zeta: np.ndarray, boundary_width: int = 1
                            ) -> Tuple[np.ndarray, np.ndarray]:
     """Build (x3d, x2d) surrogate inputs from full-field windows.
+
+    Batch-1 special case of :func:`assemble_episode_input_batch`.
 
     Parameters
     ----------
@@ -71,18 +100,10 @@ def assemble_episode_input(u3: np.ndarray, v3: np.ndarray, w3: np.ndarray,
     -------
     x3d: (3, H, W, D, T); x2d: (1, H, W, T).
     """
-    T = u3.shape[0]
-    vol = np.stack([u3, v3, w3], axis=0)       # (3, T, H, W, D)
-    x3d = np.zeros_like(vol)
-    x3d[:, 0] = vol[:, 0]
-    x2d_seq = np.zeros_like(zeta)[None]        # (1, T, H, W)
-    x2d_seq[0, 0] = zeta[0]
-    for t in range(1, T):
-        for c in range(3):
-            x3d[c, t] = _rim_only(vol[c, t], boundary_width)
-        x2d_seq[0, t] = _rim_only(zeta[t], boundary_width)
-    # time axis last: (3, H, W, D, T) / (1, H, W, T)
-    return np.moveaxis(x3d, 1, -1), np.moveaxis(x2d_seq, 1, -1)
+    x3d, x2d = assemble_episode_input_batch(
+        np.asarray(u3)[None], np.asarray(v3)[None], np.asarray(w3)[None],
+        np.asarray(zeta)[None], boundary_width)
+    return x3d[0], x2d[0]
 
 
 class SlidingWindowDataset:

@@ -47,18 +47,23 @@ def padded_shape(h: int, w: int, multiple_h: int, multiple_w: int
     return ph, pw
 
 
-def pad_mesh(field: np.ndarray, target_h: int, target_w: int) -> np.ndarray:
-    """Zero-pad the two leading spatial axes (H, W, …) to the target.
+def pad_mesh(field: np.ndarray, target_h: int, target_w: int,
+             axes: Tuple[int, int] = (0, 1)) -> np.ndarray:
+    """Zero-pad the (H, W) axes to the target.
 
     Padding is appended on the high side, like the paper's 898×598 →
-    900×600 adjustment.
+    900×600 adjustment.  ``axes`` selects which axes are (H, W) — the
+    default keeps the historical leading-axes behaviour; batched
+    layouts pass e.g. ``axes=(2, 3)`` for (N, T, H, W, …) fields.
     """
-    h, w = field.shape[:2]
+    ah, aw = axes
+    h, w = field.shape[ah], field.shape[aw]
     if target_h < h or target_w < w:
         raise ValueError(
             f"target ({target_h}, {target_w}) smaller than field ({h}, {w})")
-    pad = [(0, target_h - h), (0, target_w - w)] + \
-        [(0, 0)] * (field.ndim - 2)
+    pad = [(0, 0)] * field.ndim
+    pad[ah] = (0, target_h - h)
+    pad[aw] = (0, target_w - w)
     return np.pad(field, pad)
 
 

@@ -1,6 +1,11 @@
 """Evaluation: accuracy metrics, series/spatial comparison, reporting."""
 
-from .metrics import VariableErrors, aggregate_errors, compute_errors
+from .metrics import (
+    VariableErrors,
+    aggregate_errors,
+    compute_errors,
+    compute_errors_many,
+)
 from .timeseries import (
     PAPER_LOCATIONS,
     LocationSeries,
@@ -15,6 +20,7 @@ from .errorgrowth import ErrorGrowth, error_growth
 __all__ = [
     "VariableErrors",
     "compute_errors",
+    "compute_errors_many",
     "aggregate_errors",
     "LocationSeries",
     "extract_series",

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..tensor import Tensor, astensor
+from ..tensor import Tensor, astensor, is_grad_enabled
 from . import init
 from .layers import Dropout, Linear
 from .module import Module
@@ -55,7 +55,10 @@ class MultiHeadSelfAttention(Module):
         ----------
         x: ``(B, N, C)`` token batch (B = number of windows × batch).
         mask: optional additive mask broadcastable to
-            ``(B, num_heads, N, N)``; −inf entries block attention.
+            ``(B, num_heads, N, N)``; −inf entries block attention.  A
+            ``(nW, 1, N, N)`` mask with ``nW`` dividing B is broadcast
+            over the leading batch groups (B laid out batch-slowest)
+            without materialising the tiled copy.
         """
         x = astensor(x)
         B, N, C = x.shape
@@ -64,9 +67,30 @@ class MultiHeadSelfAttention(Module):
         qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, h, N, hd)
         q, k, v = qkv[0], qkv[1], qkv[2]
 
-        attn = q.matmul(k.swapaxes(-1, -2)) * self.scale  # (B, h, N, N)
+        attn = q.matmul(k.swapaxes(-1, -2))  # (B, h, N, N)
+        inference = not (is_grad_enabled() and attn.requires_grad)
+        if inference:
+            attn.data *= self.scale            # fresh buffer: scale in place
+        else:
+            attn = attn * self.scale
         if mask is not None:
-            attn = attn + Tensor(np.asarray(mask, dtype=attn.dtype))
+            m = np.asarray(mask, dtype=attn.dtype)
+            if m.ndim == 4 and m.shape[0] != B and B % m.shape[0] == 0:
+                # (nW, 1, N, N) per-window mask broadcast over the batch
+                # groups (tokens are laid out batch-slowest)
+                nW = m.shape[0]
+                if inference:
+                    attn.data.reshape(B // nW, nW, self.num_heads, N, N)[
+                        ...] += m[None]
+                else:
+                    attn = (attn.reshape(B // nW, nW, self.num_heads, N, N)
+                            + Tensor(m[None])).reshape(B, self.num_heads,
+                                                       N, N)
+            else:
+                if inference:
+                    attn.data += m
+                else:
+                    attn = attn + Tensor(m)
         attn = attn.softmax(axis=-1)
         attn = self.attn_drop(attn)
 

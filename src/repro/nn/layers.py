@@ -10,8 +10,9 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import special as _sp_special
 
-from ..tensor import Tensor, astensor
+from ..tensor import Tensor, astensor, is_grad_enabled
 from . import init
 from .module import Module, Parameter
 
@@ -29,7 +30,21 @@ __all__ = [
 
 
 def gelu(x: Tensor) -> Tensor:
-    """Exact GELU: ``x * Phi(x)`` using the error function."""
+    """Exact GELU: ``x * Phi(x)`` using the error function.
+
+    Outside of autograd the five-op chain is fused into in-place
+    updates of a single buffer — GELU runs over full-resolution decoder
+    activations, where every extra temporary is a pass over main
+    memory.
+    """
+    x = astensor(x)
+    if not (is_grad_enabled() and x.requires_grad):
+        y = x.data * np.float32(1.0 / np.sqrt(2.0))
+        _sp_special.erf(y, out=y)
+        y += 1.0
+        y *= x.data
+        y *= 0.5
+        return Tensor(y)
     return x * ((x * (1.0 / np.sqrt(2.0))).erf() + 1.0) * 0.5
 
 
@@ -63,9 +78,14 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = astensor(x).matmul(self.weight)
+        x = astensor(x)
+        out = x.matmul(self.weight)
         if self.bias is not None:
-            out = out + self.bias
+            if not (is_grad_enabled() and
+                    (x.requires_grad or self.weight.requires_grad)):
+                out.data += self.bias.data     # fresh buffer: add in place
+            else:
+                out = out + self.bias
         return out
 
 
@@ -81,6 +101,17 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         x = astensor(x)
+        if not (is_grad_enabled() and
+                (x.requires_grad or self.weight.requires_grad)):
+            # fused inference path: one working buffer, in-place updates
+            y = x.data - x.data.mean(axis=-1, keepdims=True)
+            var = np.mean(np.square(y), axis=-1, keepdims=True)
+            var += self.eps
+            np.sqrt(var, out=var)
+            y /= var
+            y *= self.weight.data
+            y += self.bias.data
+            return Tensor(y)
         mu = x.mean(axis=-1, keepdims=True)
         var = ((x - mu) * (x - mu)).mean(axis=-1, keepdims=True)
         norm = (x - mu) / (var + self.eps).sqrt()
@@ -120,8 +151,21 @@ class BatchNorm(Module):
             self.running_var *= 1.0 - self.momentum
             self.running_var += self.momentum * unbiased
         else:
-            mu = Tensor(self.running_mean.reshape(bshape))
-            var = Tensor(self.running_var.reshape(bshape))
+            # fold running stats into one scale + shift (two passes over
+            # x instead of four; x is full-resolution in the decoder)
+            inv = (1.0 / np.sqrt(self.running_var + self.eps)).reshape(bshape)
+            if not (is_grad_enabled() and
+                    (x.requires_grad or self.weight.requires_grad)):
+                scale = self.weight.data.reshape(bshape) * inv
+                shift = self.bias.data.reshape(bshape) \
+                    - self.running_mean.reshape(bshape) * scale
+                y = x.data * scale
+                y += shift
+                return Tensor(y)
+            scale = self.weight.reshape(bshape) * Tensor(inv)
+            shift = self.bias.reshape(bshape) \
+                - Tensor(self.running_mean.reshape(bshape)) * scale
+            return x * scale + shift
         norm = (x - mu) / (var + self.eps).sqrt()
         return norm * self.weight.reshape(bshape) + self.bias.reshape(bshape)
 

@@ -142,25 +142,29 @@ class CurvilinearGrid:
     # staggering operators (pure NumPy, allocation-light)
     # ------------------------------------------------------------------
     def center_to_u(self, c: np.ndarray) -> np.ndarray:
-        """Average centre field to u faces; edge faces copy the edge cell."""
-        out = np.empty((self.ny, self.nx + 1), dtype=c.dtype)
-        out[:, 1:-1] = 0.5 * (c[:, :-1] + c[:, 1:])
-        out[:, 0] = c[:, 0]
-        out[:, -1] = c[:, -1]
+        """Average centre field to u faces; edge faces copy the edge cell.
+
+        Accepts arbitrary leading axes: ``c`` is (…, ny, nx) and the
+        result (…, ny, nx+1), so batched (N, T, H, W) fields vectorise.
+        """
+        out = np.empty(c.shape[:-1] + (self.nx + 1,), dtype=c.dtype)
+        out[..., 1:-1] = 0.5 * (c[..., :-1] + c[..., 1:])
+        out[..., 0] = c[..., 0]
+        out[..., -1] = c[..., -1]
         return out
 
     def center_to_v(self, c: np.ndarray) -> np.ndarray:
-        out = np.empty((self.ny + 1, self.nx), dtype=c.dtype)
-        out[1:-1, :] = 0.5 * (c[:-1, :] + c[1:, :])
-        out[0, :] = c[0, :]
-        out[-1, :] = c[-1, :]
+        out = np.empty(c.shape[:-2] + (self.ny + 1, self.nx), dtype=c.dtype)
+        out[..., 1:-1, :] = 0.5 * (c[..., :-1, :] + c[..., 1:, :])
+        out[..., 0, :] = c[..., 0, :]
+        out[..., -1, :] = c[..., -1, :]
         return out
 
     def u_to_center(self, u: np.ndarray) -> np.ndarray:
-        return 0.5 * (u[:, :-1] + u[:, 1:])
+        return 0.5 * (u[..., :-1] + u[..., 1:])
 
     def v_to_center(self, v: np.ndarray) -> np.ndarray:
-        return 0.5 * (v[:-1, :] + v[1:, :])
+        return 0.5 * (v[..., :-1, :] + v[..., 1:, :])
 
     def ddx_at_u(self, c: np.ndarray) -> np.ndarray:
         """∂c/∂x evaluated on interior u faces (edges zero)."""
@@ -176,14 +180,15 @@ class CurvilinearGrid:
     def flux_divergence(self, fx: np.ndarray, fy: np.ndarray) -> np.ndarray:
         """Divergence of face fluxes, per unit area, at cell centres.
 
-        ``fx``: (ny, nx+1) volume flux through u faces [m³/s per metre of
-        face — i.e. already multiplied by face depth]; similarly ``fy``.
-        Returns (ny, nx) in units of fx / m.
+        ``fx``: (…, ny, nx+1) volume flux through u faces [m³/s per
+        metre of face — i.e. already multiplied by face depth];
+        similarly ``fy``.  Leading axes (batch, time) broadcast.
+        Returns (…, ny, nx) in units of fx / m.
         """
-        div_x = (fx[:, 1:] * self.y_axis.spacing[:, None]
-                 - fx[:, :-1] * self.y_axis.spacing[:, None])
-        div_y = (fy[1:, :] * self.x_axis.spacing[None, :]
-                 - fy[:-1, :] * self.x_axis.spacing[None, :])
+        div_x = (fx[..., 1:] * self.y_axis.spacing[:, None]
+                 - fx[..., :-1] * self.y_axis.spacing[:, None])
+        div_y = (fy[..., 1:, :] * self.x_axis.spacing[None, :]
+                 - fy[..., :-1, :] * self.x_axis.spacing[None, :])
         return (div_x + div_y) / self.area
 
     @property

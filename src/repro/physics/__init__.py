@@ -1,6 +1,11 @@
 """Physics-based verification of surrogate forecasts (paper §III-E)."""
 
-from .residual import depth_average, residual_series, water_mass_residual
+from .residual import (
+    depth_average,
+    residual_series,
+    residual_series_batch,
+    water_mass_residual,
+)
 from .verifier import (
     OCEANOGRAPHY_ACCEPTED_THRESHOLD,
     PAPER_THRESHOLDS,
@@ -11,6 +16,7 @@ from .verifier import (
 __all__ = [
     "water_mass_residual",
     "residual_series",
+    "residual_series_batch",
     "depth_average",
     "Verifier",
     "VerificationResult",

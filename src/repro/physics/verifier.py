@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..ocean.grid import CurvilinearGrid
-from .residual import residual_series
+from .residual import residual_series, residual_series_batch
 
 __all__ = ["VerificationResult", "Verifier", "OCEANOGRAPHY_ACCEPTED_THRESHOLD",
            "PAPER_THRESHOLDS"]
@@ -74,18 +74,42 @@ class Verifier:
                v3_seq: np.ndarray,
                threshold: Optional[float] = None) -> VerificationResult:
         """Verify one forecast episode against the threshold."""
+        return self.verify_batch([zeta_seq], [u3_seq], [v3_seq],
+                                 threshold)[0]
+
+    def verify_batch(self, zeta_seqs: Sequence[np.ndarray],
+                     u3_seqs: Sequence[np.ndarray],
+                     v3_seqs: Sequence[np.ndarray],
+                     threshold: Optional[float] = None
+                     ) -> List[VerificationResult]:
+        """Verify N forecast episodes in one vectorised residual pass.
+
+        All episodes must share the verifier's (H, W) geometry; the
+        residual fields of every episode are computed in a single
+        batched call, so the hybrid gate does not re-serialise a
+        batched surrogate forward.
+        """
         thr = self.threshold if threshold is None else float(threshold)
-        res = self.residuals(zeta_seq, u3_seq, v3_seq)
-        wet = self.wet
-        per_step = res[:, wet].mean(axis=1)
-        mean = float(per_step.mean())
-        return VerificationResult(
-            mean_residual=mean,
-            max_residual=float(res[:, wet].max()),
-            threshold=thr,
-            passed=mean < thr,
-            per_step_mean=per_step,
-        )
+        res = residual_series_batch(
+            self.grid, self.depth,
+            np.stack([np.asarray(z) for z in zeta_seqs]),
+            np.stack([np.asarray(u) for u in u3_seqs]),
+            np.stack([np.asarray(v) for v in v3_seqs]),
+            self.dt, self.wet)
+        res_wet = res[:, :, self.wet]               # (N, T−1, n_wet)
+        per_step = res_wet.mean(axis=2)             # (N, T−1)
+        means = per_step.mean(axis=1)
+        maxes = res_wet.max(axis=(1, 2))
+        return [
+            VerificationResult(
+                mean_residual=float(m),
+                max_residual=float(mx),
+                threshold=thr,
+                passed=bool(m < thr),
+                per_step_mean=ps,
+            )
+            for m, mx, ps in zip(means, maxes, per_step)
+        ]
 
     def pass_rate(self, episodes: Sequence[VerificationResult] | Sequence[float],
                   threshold: Optional[float] = None) -> float:

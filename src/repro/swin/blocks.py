@@ -76,12 +76,10 @@ class SwinBlock4d(Module):
 
         mask = None
         if any(shift):
-            m = compute_attention_mask(dims, win, shift)  # (nW, N, N)
-            nW = m.shape[0]
-            reps = tokens.shape[0] // nW
-            # layout of window_partition is (B, windows...) flattened with
-            # B slowest, so tile over the batch then add a head axis.
-            mask = np.tile(m, (reps, 1, 1))[:, None, :, :]
+            # (nW, 1, N, N): the attention layer broadcasts it over the
+            # batch (window_partition lays tokens out batch-slowest), so
+            # no tiled copy is ever materialised.
+            mask = compute_attention_mask(dims, win, shift)[:, None, :, :]
 
         tokens = self.attn(tokens, mask=mask)
         h = window_reverse(tokens, win, dims)

@@ -197,7 +197,9 @@ class CoastalSurrogate(Module):
         e2 = self.embed2d(x2d)                      # (B, C, H', W', 1, T)
         x = concatenate([e3, e2], axis=4)           # depth concat
         x = x.transpose(0, 2, 3, 4, 5, 1)           # channels-last
-        x = x + self.pos_spatial + self.pos_temporal
+        # sum the (small) positional tables first: one broadcast add
+        # over the full token lattice instead of two
+        x = x + (self.pos_spatial + self.pos_temporal)
 
         skips: List[Tensor] = []
         for stage in self.stages:

@@ -56,11 +56,41 @@ def conv_transpose_output_shape(spatial: Sequence[int], kernel: Sequence[int],
     )
 
 
+def _fwd_patch(x: np.ndarray, w: np.ndarray,
+               out_sp: Tuple[int, ...]) -> np.ndarray:
+    """stride == kernel special case: non-overlapping patches.
+
+    Every output site reads one disjoint input patch, so the whole
+    correlation collapses to a single GEMM over flattened patches —
+    one pass over the input instead of one strided pass per kernel
+    offset.  This is the hot path of patch embedding (and, through
+    :func:`_grad_input`, patch recovery), where batched inference
+    spends most of its time.
+    """
+    kshape = w.shape[2:]
+    N, Ci = x.shape[:2]
+    Co = w.shape[0]
+    crop = tuple(slice(0, o * k) for o, k in zip(out_sp, kshape))
+    xv = x[(slice(None), slice(None)) + crop]
+    split = (N, Ci) + tuple(v for ok in zip(out_sp, kshape) for v in ok)
+    xv = xv.reshape(split)                      # (N, Ci, o1, k1, …, od, kd)
+    nd = len(kshape)
+    o_axes = tuple(2 + 2 * i for i in range(nd))
+    k_axes = tuple(3 + 2 * i for i in range(nd))
+    xv = xv.transpose((0,) + o_axes + (1,) + k_axes)   # (N, o…, Ci, k…)
+    xmat = xv.reshape(N, int(np.prod(out_sp)), Ci * int(np.prod(kshape)))
+    out = xmat @ w.reshape(Co, -1).T            # (N, O, Co)
+    return np.ascontiguousarray(np.moveaxis(out, -1, 1)).reshape(
+        (N, Co) + tuple(out_sp))
+
+
 def _fwd(x: np.ndarray, w: np.ndarray, stride: Tuple[int, ...]) -> np.ndarray:
     """Correlation: out[n,co,o] = sum_{ci,k} w[co,ci,k] x[n,ci,o*s+k]."""
     nd = x.ndim - 2
     kshape = w.shape[2:]
     out_sp = conv_output_shape(x.shape[2:], kshape, stride, (0,) * nd)
+    if tuple(stride) == tuple(kshape):
+        return _fwd_patch(x, w, out_sp)
     out = np.zeros((x.shape[0], w.shape[0]) + out_sp, dtype=np.result_type(x, w))
     for koff in itertools.product(*[range(k) for k in kshape]):
         sl = tuple(
@@ -72,11 +102,39 @@ def _fwd(x: np.ndarray, w: np.ndarray, stride: Tuple[int, ...]) -> np.ndarray:
     return out
 
 
+def _grad_input_patch(gout: np.ndarray, w: np.ndarray,
+                      in_spatial: Tuple[int, ...]) -> np.ndarray:
+    """stride == kernel adjoint: one GEMM + one interleaving copy.
+
+    Each input patch receives gradient from exactly one output site, so
+    the scatter collapses to ``gout @ w`` followed by reshaping the
+    kernel axes back between the spatial axes — two passes over the
+    (large, full-resolution) result instead of one per kernel offset.
+    """
+    kshape = w.shape[2:]
+    out_sp = gout.shape[2:]
+    N, Co = gout.shape[:2]
+    Ci = w.shape[1]
+    nd = len(kshape)
+    gmat = np.moveaxis(gout, 1, -1).reshape(N, int(np.prod(out_sp)), Co)
+    gx = gmat @ w.reshape(Co, -1)               # (N, O, Ci·K)
+    gx = gx.reshape((N,) + tuple(out_sp) + (Ci,) + tuple(kshape))
+    o_axes = tuple(1 + i for i in range(nd))
+    k_axes = tuple(2 + nd + i for i in range(nd))
+    perm = (0, 1 + nd) + tuple(v for ok in zip(o_axes, k_axes) for v in ok)
+    gx = gx.transpose(perm)                     # (N, Ci, o1, k1, …, od, kd)
+    return np.ascontiguousarray(gx).reshape(
+        (N, Ci) + tuple(o * k for o, k in zip(out_sp, kshape)))
+
+
 def _grad_input(gout: np.ndarray, w: np.ndarray, in_spatial: Tuple[int, ...],
                 stride: Tuple[int, ...]) -> np.ndarray:
     """Adjoint of :func:`_fwd` w.r.t. its input (also = transposed conv)."""
     kshape = w.shape[2:]
     out_sp = gout.shape[2:]
+    if tuple(stride) == tuple(kshape) and tuple(in_spatial) == tuple(
+            o * k for o, k in zip(out_sp, kshape)):
+        return _grad_input_patch(gout, w, in_spatial)
     gx = np.zeros(
         (gout.shape[0], w.shape[1]) + tuple(in_spatial),
         dtype=np.result_type(gout, w),

@@ -479,11 +479,14 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=True)
-        out = self._make(
-            out_data if keepdims or axis is None and keepdims else
-            self.data.max(axis=axis, keepdims=keepdims),
-            (self,),
-        )
+        if keepdims:
+            ret = out_data
+        elif axis is None:
+            ret = out_data.reshape(())
+        else:
+            ax = axis if isinstance(axis, tuple) else (axis,)
+            ret = out_data.squeeze(axis=ax)
+        out = self._make(ret, (self,))
         if out.requires_grad:
             mask = self.data == out_data
             counts = mask.sum(axis=axis, keepdims=True)
@@ -574,10 +577,14 @@ class Tensor:
     # composite ops
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
-        """Numerically stable softmax with a fused backward."""
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        e = np.exp(shifted)
-        p = e / e.sum(axis=axis, keepdims=True)
+        """Numerically stable softmax with a fused backward.
+
+        Computed with one temporary (shift, exp and normalise reuse the
+        same buffer) — the backward only needs the final probabilities.
+        """
+        p = self.data - self.data.max(axis=axis, keepdims=True)
+        np.exp(p, out=p)
+        p /= p.sum(axis=axis, keepdims=True)
         out = self._make(p, (self,))
         if out.requires_grad:
             def _bw(g):

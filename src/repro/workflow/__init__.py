@@ -1,5 +1,6 @@
 """End-to-end hybrid forecasting workflow (paper Fig. 1 / §III-A)."""
 
+from .engine import ForecastEngine
 from .forecast import (
     DualModelForecaster,
     FieldWindow,
@@ -10,6 +11,7 @@ from .hybrid import EpisodeReport, HybridWorkflow, WorkflowReport
 from .ensemble import EnsembleForecast, EnsembleForecaster
 
 __all__ = [
+    "ForecastEngine",
     "FieldWindow",
     "ForecastResult",
     "SurrogateForecaster",

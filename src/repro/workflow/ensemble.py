@@ -70,8 +70,7 @@ class EnsembleForecaster:
         if member == 0:
             return reference
         rng = np.random.default_rng(self.seed + member)
-        ref = FieldWindow(reference.u3.copy(), reference.v3.copy(),
-                          reference.w3.copy(), reference.zeta.copy())
+        ref = reference.copy()
         zp = rng.normal(0.0, self.zeta_sigma, size=ref.zeta[0].shape)
         up = rng.normal(0.0, self.velocity_sigma, size=ref.u3[0].shape)
         vp = rng.normal(0.0, self.velocity_sigma, size=ref.v3[0].shape)
@@ -87,14 +86,16 @@ class EnsembleForecaster:
 
     def forecast(self, reference: FieldWindow,
                  wet: Optional[np.ndarray] = None) -> EnsembleForecast:
-        """Run the ensemble for one episode."""
-        members: List[FieldWindow] = []
-        seconds = 0.0
-        for m in range(self.n_members):
-            out = self.forecaster.forecast_episode(
-                self._perturbed(reference, m, wet))
-            members.append(out.fields)
-            seconds += out.inference_seconds
+        """Run the ensemble for one episode.
+
+        All N members share a single batched model forward through
+        :meth:`SurrogateForecaster.forecast_batch`.
+        """
+        perturbed = [self._perturbed(reference, m, wet)
+                     for m in range(self.n_members)]
+        outs = self.forecaster.forecast_batch(perturbed)
+        members: List[FieldWindow] = [o.fields for o in outs]
+        seconds = sum(o.inference_seconds for o in outs)
 
         def stat(fn):
             return FieldWindow(

@@ -1,72 +1,29 @@
 """Surrogate forecasting: single episodes and dual-model rollouts.
 
-Implements the inference side of the paper's workflow (§III-A):
+Implements the inference side of the paper's workflow (§III-A) on top
+of the batched :class:`~repro.workflow.engine.ForecastEngine`:
 
-* :class:`SurrogateForecaster` — runs one trained surrogate on an
-  episode assembled from an initial condition plus future boundary
-  conditions, handling normalisation, mesh padding and fp16 staging.
+* :class:`SurrogateForecaster` — runs one trained surrogate on
+  episodes assembled from an initial condition plus future boundary
+  conditions; ``forecast_episode`` is the batch-1 special case of the
+  engine and ``forecast_batch`` exposes the vectorised path.
 * :class:`DualModelForecaster` — the paper's long-horizon scheme: a
   coarse-interval model forecasts the full horizon, then each coarse
-  snapshot seeds the fine-interval model, yielding the full horizon at
-  fine resolution (12 days of half-hourly snapshots from 24 coarse
-  steps × 24 fine steps).
+  snapshot seeds the fine-interval model.  All T_c fine episodes run
+  in ONE batched forward after the coarse pass (two model forwards
+  total for the whole 12-day rollout).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
-import numpy as np
-
-from ..data.dataset import assemble_episode_input
-from ..data.preprocess import Normalizer, pad_mesh, padded_shape, unpad_mesh
+from ..data.preprocess import Normalizer
 from ..swin.model import CoastalSurrogate
-from ..tensor import Tensor, no_grad
+from .engine import FieldWindow, ForecastEngine, ForecastResult
 
 __all__ = ["FieldWindow", "ForecastResult", "SurrogateForecaster",
            "DualModelForecaster"]
-
-
-@dataclass
-class FieldWindow:
-    """A window of physical fields (denormalised, unpadded).
-
-    ``u3, v3, w3``: (T, H, W, D); ``zeta``: (T, H, W).
-    """
-
-    u3: np.ndarray
-    v3: np.ndarray
-    w3: np.ndarray
-    zeta: np.ndarray
-
-    @property
-    def T(self) -> int:
-        return self.zeta.shape[0]
-
-    def snapshot(self, t: int) -> "FieldWindow":
-        """Single-snapshot view (T = 1)."""
-        return FieldWindow(self.u3[t:t + 1], self.v3[t:t + 1],
-                           self.w3[t:t + 1], self.zeta[t:t + 1])
-
-    @staticmethod
-    def concat(windows: Sequence["FieldWindow"]) -> "FieldWindow":
-        return FieldWindow(
-            np.concatenate([w.u3 for w in windows], axis=0),
-            np.concatenate([w.v3 for w in windows], axis=0),
-            np.concatenate([w.w3 for w in windows], axis=0),
-            np.concatenate([w.zeta for w in windows], axis=0),
-        )
-
-
-@dataclass
-class ForecastResult:
-    """Forecast plus bookkeeping."""
-
-    fields: FieldWindow
-    inference_seconds: float
-    episodes: int = 1
 
 
 class SurrogateForecaster:
@@ -74,27 +31,19 @@ class SurrogateForecaster:
 
     def __init__(self, model: CoastalSurrogate, normalizer: Normalizer,
                  boundary_width: int = 1):
+        self.engine = ForecastEngine(model, normalizer, boundary_width)
         self.model = model
         self.normalizer = normalizer
         self.boundary_width = boundary_width
-        cfg = model.config
-        self.pad_hw = (cfg.mesh[0], cfg.mesh[1])
+        self.pad_hw = self.engine.pad_hw
 
-    # ------------------------------------------------------------------
-    def _normalize_window(self, window: FieldWindow
-                          ) -> Dict[str, np.ndarray]:
-        ph, pw = self.pad_hw
-        out = {}
-        for var, arr in (("u3", window.u3), ("v3", window.v3),
-                         ("w3", window.w3), ("zeta", window.zeta)):
-            a = self.normalizer.normalize(var, arr.astype(np.float32))
-            a = np.moveaxis(a, 0, -1)
-            a = pad_mesh(a, ph, pw)
-            out[var] = np.moveaxis(a, -1, 0)
-        return out
+    def forecast_batch(self, references: Sequence[FieldWindow]
+                       ) -> List[ForecastResult]:
+        """Forecast N episodes in one vectorised model forward."""
+        return self.engine.forecast_batch(references)
 
     def forecast_episode(self, reference: FieldWindow) -> ForecastResult:
-        """Forecast one episode.
+        """Forecast one episode (batch-1 special case of the engine).
 
         Parameters
         ----------
@@ -103,39 +52,7 @@ class SurrogateForecaster:
             lateral boundary rims (the surrogate never sees the interior
             of future snapshots).
         """
-        T = reference.T
-        cfg = self.model.config
-        if T != cfg.time_steps:
-            raise ValueError(
-                f"window length {T} != model time_steps {cfg.time_steps}")
-        norm = self._normalize_window(reference)
-        x3d, x2d = assemble_episode_input(
-            norm["u3"], norm["v3"], norm["w3"], norm["zeta"],
-            self.boundary_width)
-
-        self.model.eval()
-        t0 = time.perf_counter()
-        with no_grad():
-            p3d, p2d = self.model(Tensor(x3d[None].astype(np.float32)),
-                                  Tensor(x2d[None].astype(np.float32)))
-        seconds = time.perf_counter() - t0
-
-        H, W = reference.zeta.shape[1:3]
-        # (1, 3, H', W', D, T) → per-variable (T, H, W, D)
-        vol = np.moveaxis(p3d.data[0], -1, 1)      # (3, T, H', W', D)
-        zet = np.moveaxis(p2d.data[0, 0], -1, 0)   # (T, H', W')
-        def crop_seq(a: np.ndarray) -> np.ndarray:
-            return np.ascontiguousarray(a[:, :H, :W, ...])
-
-        u3 = crop_seq(self.normalizer.denormalize("u3", vol[0]))
-        v3 = crop_seq(self.normalizer.denormalize("v3", vol[1]))
-        w3 = crop_seq(self.normalizer.denormalize("w3", vol[2]))
-        zeta = crop_seq(self.normalizer.denormalize("zeta", zet))
-
-        # the initial condition is known exactly — keep it
-        u3[0], v3[0], w3[0] = reference.u3[0], reference.v3[0], reference.w3[0]
-        zeta[0] = reference.zeta[0]
-        return ForecastResult(FieldWindow(u3, v3, w3, zeta), seconds)
+        return self.engine.forecast_batch([reference])[0]
 
 
 class DualModelForecaster:
@@ -156,6 +73,9 @@ class DualModelForecaster:
 
     def forecast(self, reference_fine: FieldWindow) -> ForecastResult:
         """Full-horizon forecast at the fine interval.
+
+        One coarse forward, then one batched fine forward covering all
+        T_c fine episodes at once.
 
         Parameters
         ----------
@@ -184,25 +104,23 @@ class DualModelForecaster:
             reference_fine.w3[sub], reference_fine.zeta[sub])
         coarse_out = self.coarse.forecast_episode(coarse_ref)
 
-        total_seconds = coarse_out.inference_seconds
-        pieces: List[FieldWindow] = []
-        episodes = 1
+        # every coarse snapshot seeds one fine episode; run them all in
+        # a single batched forward
+        fine_refs: List[FieldWindow] = []
         for k in range(Tc):
-            fine_ref_slice = slice(k * ratio, (k + 1) * ratio)
+            sl = slice(k * ratio, (k + 1) * ratio)
             fine_ref = FieldWindow(
-                reference_fine.u3[fine_ref_slice].copy(),
-                reference_fine.v3[fine_ref_slice].copy(),
-                reference_fine.w3[fine_ref_slice].copy(),
-                reference_fine.zeta[fine_ref_slice].copy())
-            # seed the fine episode with the coarse model's snapshot k
+                reference_fine.u3[sl].copy(), reference_fine.v3[sl].copy(),
+                reference_fine.w3[sl].copy(), reference_fine.zeta[sl].copy())
             fine_ref.u3[0] = coarse_out.fields.u3[k]
             fine_ref.v3[0] = coarse_out.fields.v3[k]
             fine_ref.w3[0] = coarse_out.fields.w3[k]
             fine_ref.zeta[0] = coarse_out.fields.zeta[k]
-            out = self.fine.forecast_episode(fine_ref)
-            total_seconds += out.inference_seconds
-            episodes += 1
-            pieces.append(out.fields)
+            fine_refs.append(fine_ref)
+        fine_outs = self.fine.forecast_batch(fine_refs)
 
-        return ForecastResult(FieldWindow.concat(pieces), total_seconds,
-                              episodes)
+        total_seconds = coarse_out.inference_seconds \
+            + sum(o.inference_seconds for o in fine_outs)
+        return ForecastResult(
+            FieldWindow.concat([o.fields for o in fine_outs]),
+            total_seconds, episodes=1 + Tc)

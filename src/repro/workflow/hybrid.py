@@ -7,6 +7,13 @@ For every forecast episode the workflow:
 3. on failure, reverts to the ROMS-like solver for that episode and
    continues from the solver's state.
 
+:meth:`HybridWorkflow.run_many` serves many scenarios at once: at each
+episode index the surrogate passes of all still-active scenarios run
+in ONE batched model forward and the verification gate is evaluated in
+one vectorised residual pass; only failed scenarios fall back to the
+(inherently serial) solver individually.  :meth:`HybridWorkflow.run`
+is the single-scenario special case.
+
 The report accounts both *measured* wall-clock on this machine and
 *modelled* paper-scale timing (through
 :class:`~repro.hpc.roms_perf.RomsPerfModel`), which regenerates
@@ -17,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,7 +103,7 @@ class HybridWorkflow:
             fallback_states: Sequence[ShallowWaterState],
             threshold: Optional[float] = None
             ) -> tuple[FieldWindow, WorkflowReport]:
-        """Run the hybrid loop over consecutive episodes.
+        """Run the hybrid loop over consecutive episodes of one scenario.
 
         Parameters
         ----------
@@ -110,53 +117,99 @@ class HybridWorkflow:
         -------
         (forecast fields over the full horizon, workflow report).
         """
+        return self.run_many([reference], [fallback_states], threshold)[0]
+
+    # ------------------------------------------------------------------
+    def run_many(self, references: Sequence[FieldWindow],
+                 fallback_states: Sequence[Sequence[ShallowWaterState]],
+                 threshold: Optional[float] = None
+                 ) -> List[Tuple[FieldWindow, WorkflowReport]]:
+        """Run the hybrid loop over many scenarios concurrently.
+
+        Episodes within a scenario stay sequential (each initial
+        condition chains from the previous episode's output), but at a
+        given episode index the scenarios are independent — so their
+        surrogate passes share one batched forward and one vectorised
+        batch verification.  Scenarios whose episode fails the gate
+        fall back to the solver individually.
+
+        Parameters
+        ----------
+        references: one reference window per scenario (lengths may
+            differ; all scenarios must share the forecaster's mesh).
+        fallback_states: per scenario, solver states aligned with each
+            episode start.
+        threshold: override the verifier's threshold for all scenarios.
+
+        Returns
+        -------
+        One (forecast fields, workflow report) pair per scenario, in
+        input order.
+        """
+        if len(references) != len(fallback_states):
+            raise ValueError(
+                f"{len(references)} references but "
+                f"{len(fallback_states)} fallback-state sequences")
         T = self.forecaster.model.config.time_steps
-        n_episodes = reference.T // T
-        if n_episodes == 0:
-            raise ValueError(f"reference window of {reference.T} < T={T}")
-        if len(fallback_states) < n_episodes:
-            raise ValueError("need one fallback state per episode")
+        n_eps: List[int] = []
+        for reference, states in zip(references, fallback_states):
+            n = reference.T // T
+            if n == 0:
+                raise ValueError(
+                    f"reference window of {reference.T} < T={T}")
+            if len(states) < n:
+                raise ValueError("need one fallback state per episode")
+            n_eps.append(n)
 
-        report = WorkflowReport()
-        pieces: List[FieldWindow] = []
-        prev_fields: Optional[FieldWindow] = None
+        n_scen = len(references)
+        reports = [WorkflowReport() for _ in range(n_scen)]
+        pieces: List[List[FieldWindow]] = [[] for _ in range(n_scen)]
+        prev_fields: List[Optional[FieldWindow]] = [None] * n_scen
 
-        for ep in range(n_episodes):
-            sl = slice(ep * T, (ep + 1) * T)
-            ref = FieldWindow(reference.u3[sl].copy(), reference.v3[sl].copy(),
-                              reference.w3[sl].copy(),
-                              reference.zeta[sl].copy())
-            if prev_fields is not None:
-                # chain episodes: IC is the previous episode's last output
-                ref.u3[0] = prev_fields.u3[-1]
-                ref.v3[0] = prev_fields.v3[-1]
-                ref.w3[0] = prev_fields.w3[-1]
-                ref.zeta[0] = prev_fields.zeta[-1]
+        for ep in range(max(n_eps)):
+            active = [i for i in range(n_scen) if ep < n_eps[i]]
+            refs: List[FieldWindow] = []
+            for i in active:
+                sl = slice(ep * T, (ep + 1) * T)
+                reference = references[i]
+                ref = FieldWindow(
+                    reference.u3[sl].copy(), reference.v3[sl].copy(),
+                    reference.w3[sl].copy(), reference.zeta[sl].copy())
+                if prev_fields[i] is not None:
+                    # chain episodes: IC is the previous episode's output
+                    ref.u3[0] = prev_fields[i].u3[-1]
+                    ref.v3[0] = prev_fields[i].v3[-1]
+                    ref.w3[0] = prev_fields[i].w3[-1]
+                    ref.zeta[0] = prev_fields[i].zeta[-1]
+                refs.append(ref)
 
-            result = self.forecaster.forecast_episode(ref)
-            ver = self.verifier.verify(result.fields.zeta, result.fields.u3,
-                                       result.fields.v3, threshold)
+            results = self.forecaster.forecast_batch(refs)
+            vers = self.verifier.verify_batch(
+                [r.fields.zeta for r in results],
+                [r.fields.u3 for r in results],
+                [r.fields.v3 for r in results], threshold)
 
-            fallback_seconds = 0.0
-            if ver.passed:
-                fields = result.fields
-                used_fallback = False
-            else:
-                t0 = time.perf_counter()
-                snaps = self.ocean.forecast(fallback_states[ep], T - 1)
-                fallback_seconds = time.perf_counter() - t0
-                fields = self._snaps_to_window(ref, snaps)
-                used_fallback = True
+            for i, ref, result, ver in zip(active, refs, results, vers):
+                fallback_seconds = 0.0
+                if ver.passed:
+                    fields = result.fields
+                    used_fallback = False
+                else:
+                    t0 = time.perf_counter()
+                    snaps = self.ocean.forecast(fallback_states[i][ep], T - 1)
+                    fallback_seconds = time.perf_counter() - t0
+                    fields = self._snaps_to_window(ref, snaps)
+                    used_fallback = True
 
-            pieces.append(fields)
-            prev_fields = fields
-            report.episodes.append(EpisodeReport(
-                index=ep, verification=ver, used_fallback=used_fallback,
-                surrogate_seconds=result.inference_seconds,
-                fallback_seconds=fallback_seconds,
-            ))
+                pieces[i].append(fields)
+                prev_fields[i] = fields
+                reports[i].episodes.append(EpisodeReport(
+                    index=ep, verification=ver, used_fallback=used_fallback,
+                    surrogate_seconds=result.inference_seconds,
+                    fallback_seconds=fallback_seconds,
+                ))
 
-        return FieldWindow.concat(pieces), report
+        return [(FieldWindow.concat(p), r) for p, r in zip(pieces, reports)]
 
     # ------------------------------------------------------------------
     @staticmethod
