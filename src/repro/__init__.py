@@ -11,6 +11,7 @@ Subpackages
 - :mod:`repro.train` — optimisers, losses, trainer, checkpointing.
 - :mod:`repro.physics` — water-mass-conservation verification.
 - :mod:`repro.workflow` — dual-model forecasting + hybrid AI/ROMS loop.
+- :mod:`repro.serve` — micro-batching scheduler, result cache, server.
 - :mod:`repro.hpc` — platform simulation and performance models.
 - :mod:`repro.eval` — accuracy metrics and report formatting.
 """
@@ -26,6 +27,7 @@ __all__ = [
     "train",
     "physics",
     "workflow",
+    "serve",
     "hpc",
     "eval",
 ]

@@ -22,7 +22,7 @@ from .dataset import (
 )
 from .loader import Batch, DataLoader
 from .builder import ArchiveBundle, build_archives, resample_store
-from .cache import CachedStore, CacheStats
+from .cache import CachedStore, CacheStats, LruBytes
 
 __all__ = [
     "SnapshotStore",
@@ -45,4 +45,5 @@ __all__ = [
     "resample_store",
     "CachedStore",
     "CacheStats",
+    "LruBytes",
 ]

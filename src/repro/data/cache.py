@@ -14,13 +14,82 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional
 
 import numpy as np
 
 from .store import SnapshotStore, VARIABLES
 
-__all__ = ["CacheStats", "CachedStore"]
+__all__ = ["CacheStats", "CachedStore", "LruBytes"]
+
+
+class LruBytes:
+    """Byte-capacity LRU mapping: the eviction core of every cache here.
+
+    Both the page-cache simulation (:class:`CachedStore`) and the
+    serving result cache (:class:`repro.serve.cache.ForecastCache`)
+    need the same mechanics — recency refresh on hit, eviction of the
+    least-recently-used entries until a new value fits, bypass of
+    values larger than the whole cache.  This class owns exactly that;
+    hit/miss accounting stays with the callers, whose stats mean
+    different things (bytes from disk vs recomputed forecasts).
+
+    Parameters
+    ----------
+    capacity_bytes: total byte budget.
+    size_of: value → size in bytes (defaults to ``value.nbytes``).
+    """
+
+    def __init__(self, capacity_bytes: int,
+                 size_of: Optional[Callable[[Any], int]] = None):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity_bytes)
+        self._size_of = size_of or (lambda v: v.nbytes)
+        self._items: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._used = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        if key not in self._items:
+            return None
+        self._items.move_to_end(key)
+        return self._items[key]
+
+    def put(self, key: Hashable, value: Any) -> int:
+        """Insert ``value``; returns how many entries were evicted.
+
+        A value larger than the whole cache is not stored (and evicts
+        nothing) — one oversized read must not flush the cache.
+        """
+        nbytes = self._size_of(value)
+        if nbytes > self.capacity:
+            return 0
+        old = self._items.pop(key, None)
+        if old is not None:
+            self._used -= self._size_of(old)
+        evictions = 0
+        while self._used + nbytes > self.capacity and self._items:
+            _, evicted = self._items.popitem(last=False)
+            self._used -= self._size_of(evicted)
+            evictions += 1
+        self._items[key] = value
+        self._used += nbytes
+        return evictions
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._used = 0
 
 
 @dataclass
@@ -57,14 +126,10 @@ class CachedStore:
     """
 
     def __init__(self, store: SnapshotStore, capacity_bytes: int):
-        if capacity_bytes <= 0:
-            raise ValueError("capacity must be positive")
         self.store = store
-        self.capacity = int(capacity_bytes)
+        self._cache = LruBytes(capacity_bytes)
+        self.capacity = self._cache.capacity
         self.stats = CacheStats()
-        self._cache: "OrderedDict[Tuple[str, int], np.ndarray]" = \
-            OrderedDict()
-        self._used = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -76,16 +141,15 @@ class CachedStore:
 
     def read_var(self, var: str, idx: int) -> np.ndarray:
         key = (var, idx)
-        if key in self._cache:
-            self._cache.move_to_end(key)
-            arr = self._cache[key]
+        arr = self._cache.get(key)
+        if arr is not None:
             self.stats.hits += 1
             self.stats.bytes_from_cache += arr.nbytes
             return arr
         arr = self.store.read_var(var, idx)
         self.stats.misses += 1
         self.stats.bytes_from_disk += arr.nbytes
-        self._insert(key, arr)
+        self.stats.evictions += self._cache.put(key, arr)
         return arr
 
     def read_snapshot(self, idx: int) -> Dict[str, np.ndarray]:
@@ -102,20 +166,9 @@ class CachedStore:
         }
 
     # ------------------------------------------------------------------
-    def _insert(self, key: Tuple[str, int], arr: np.ndarray) -> None:
-        if arr.nbytes > self.capacity:
-            return  # larger than the whole cache: bypass
-        while self._used + arr.nbytes > self.capacity and self._cache:
-            _, evicted = self._cache.popitem(last=False)
-            self._used -= evicted.nbytes
-            self.stats.evictions += 1
-        self._cache[key] = arr
-        self._used += arr.nbytes
-
     def clear(self) -> None:
         self._cache.clear()
-        self._used = 0
 
     @property
     def resident_bytes(self) -> int:
-        return self._used
+        return self._cache.used_bytes

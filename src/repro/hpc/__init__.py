@@ -36,6 +36,7 @@ from .roms_perf import (
     best_process_grid,
 )
 from .scaling import PAPER_GPU_COUNTS, ScalingModel, ring_allreduce_seconds
+from .serving import ServingCapacityModel
 from .trace import PipelineTrace, StageEvent
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "ScalingModel",
     "ring_allreduce_seconds",
     "PAPER_GPU_COUNTS",
+    "ServingCapacityModel",
     "PipelineTrace",
     "StageEvent",
 ]

@@ -1,0 +1,99 @@
+"""Serving capacity model: micro-batch latency → sustainable load.
+
+On every backend the engine's batch wall-clock is well described by an
+affine law ``seconds(B) ≈ a + b·B`` — a fixed dispatch cost ``a``
+(layer/kernel launch overhead, Python orchestration) plus a marginal
+per-request cost ``b``.  Micro-batching amortises ``a`` over the batch;
+throughput ``B / (a + b·B)`` therefore rises with occupancy and
+saturates at ``1/b`` requests per second.  Fitting (``a``, ``b``) from
+a scheduler's :class:`~repro.serve.scheduler.BatchRecord` log yields
+the capacity numbers an operator actually plans with: the saturation
+QPS of one engine replica and the smallest ``max_batch`` that reaches a
+target fraction of it within a latency budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ServingCapacityModel"]
+
+
+@dataclass(frozen=True)
+class ServingCapacityModel:
+    """Affine micro-batch cost model ``seconds(B) = a + b·B``.
+
+    Attributes
+    ----------
+    dispatch_seconds: fixed per-forward cost ``a`` [s].
+    per_request_seconds: marginal cost ``b`` of one more request in
+        the batch [s].
+    """
+
+    dispatch_seconds: float
+    per_request_seconds: float
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def fit(batch_sizes: Sequence[int], batch_seconds: Sequence[float]
+            ) -> "ServingCapacityModel":
+        """Least-squares fit over observed (size, wall-clock) pairs.
+
+        With a single distinct batch size the affine split is not
+        identifiable; the cost is then attributed entirely to the
+        marginal term (``a = 0``), which makes the model conservative
+        (it under-states the batching win instead of inventing one).
+        """
+        sizes = np.asarray(batch_sizes, dtype=np.float64)
+        secs = np.asarray(batch_seconds, dtype=np.float64)
+        if sizes.size == 0 or sizes.size != secs.size:
+            raise ValueError("need equal, non-zero observation counts")
+        if np.unique(sizes).size < 2:
+            return ServingCapacityModel(0.0, float(np.mean(secs / sizes)))
+        b, a = np.polyfit(sizes, secs, 1)
+        return ServingCapacityModel(max(float(a), 0.0),
+                                    max(float(b), 1e-12))
+
+    @staticmethod
+    def from_batch_log(records) -> "ServingCapacityModel":
+        """Fit from a scheduler's ``metrics.batches`` log.
+
+        Failed batches are excluded — an engine call that raised did
+        not observe a service time, and an immediate raise would drag
+        the fit toward zero.
+        """
+        ok = [r for r in records if not getattr(r, "failed", False)]
+        return ServingCapacityModel.fit([r.size for r in ok],
+                                        [r.seconds for r in ok])
+
+    # -- predictions ----------------------------------------------------
+    def batch_seconds(self, batch: int) -> float:
+        """Modelled wall-clock of one micro-batch of ``batch`` requests."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return self.dispatch_seconds + self.per_request_seconds * batch
+
+    def throughput(self, batch: int) -> float:
+        """Requests/second at steady occupancy ``batch``."""
+        return batch / self.batch_seconds(batch)
+
+    @property
+    def saturation_throughput(self) -> float:
+        """Occupancy → ∞ limit: ``1 / b`` requests per second."""
+        return 1.0 / self.per_request_seconds
+
+    def optimal_batch(self, latency_slo_seconds: float,
+                      max_batch: int = 1024) -> int:
+        """Largest occupancy whose batch wall-clock fits the SLO.
+
+        Returns at least 1 (a lone request cannot shrink below the
+        dispatch cost) and at most ``max_batch``.
+        """
+        if latency_slo_seconds <= 0:
+            raise ValueError("latency SLO must be positive")
+        budget = latency_slo_seconds - self.dispatch_seconds
+        best = int(budget / self.per_request_seconds)
+        return max(1, min(best, int(max_batch)))

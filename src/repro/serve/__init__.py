@@ -1,0 +1,35 @@
+"""Serving subsystem: micro-batching, result caching, front door.
+
+Turns independent incoming forecast requests into the batched
+forwards of :class:`~repro.workflow.engine.ForecastEngine` — the layer
+that converts per-call speed into system throughput:
+
+- :mod:`repro.serve.scheduler` — request queue + dynamic micro-batching
+  under a ``max_batch``/``max_wait`` policy, with occupancy/latency
+  metrics;
+- :mod:`repro.serve.cache` — keyed LRU cache of completed forecasts;
+- :mod:`repro.serve.server` — routes plain, ensemble, and hybrid
+  requests through one shared engine.
+"""
+
+from .cache import ForecastCache, ForecastCacheStats, window_key
+from .scheduler import (
+    BatchRecord,
+    MicroBatchScheduler,
+    RequestRecord,
+    ServedFuture,
+    ServeMetrics,
+)
+from .server import ForecastServer
+
+__all__ = [
+    "MicroBatchScheduler",
+    "ServedFuture",
+    "ServeMetrics",
+    "BatchRecord",
+    "RequestRecord",
+    "ForecastCache",
+    "ForecastCacheStats",
+    "window_key",
+    "ForecastServer",
+]

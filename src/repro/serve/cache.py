@@ -1,0 +1,113 @@
+"""Keyed LRU forecast-result cache for the serving front door.
+
+At serving scale many users ask for the *same* scenario (the current
+analysis window, a trending storm track), so the most effective
+optimisation is to never re-run the engine at all.  The cache is keyed
+by a content digest of the request window — identical fields hash to
+the same key regardless of which client or thread submitted them — and
+bounded in bytes with the same LRU eviction core
+(:class:`~repro.data.cache.LruBytes`) that backs the data layer's OS
+page-cache simulation.
+
+Hits hand out *copies* of the cached fields: forecast consumers
+routinely write into their result windows (episode chaining overwrites
+slot 0), and a shared cached array must never be mutated under other
+requests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.cache import LruBytes
+from ..workflow.engine import FieldWindow, ForecastResult
+
+__all__ = ["window_key", "ForecastCacheStats", "ForecastCache"]
+
+
+def window_key(window: FieldWindow, extra: Tuple = ()) -> str:
+    """Content digest of a request window (plus optional extra tokens).
+
+    Shapes and dtypes are folded in before the raw bytes so e.g. a
+    (4, 15, 14) float32 window cannot collide with a (4, 14, 15)
+    float64 one of identical byte content.  ``extra`` distinguishes
+    otherwise-identical windows served under different policies (say,
+    an ensemble member count).
+    """
+    h = hashlib.sha256()
+    for name in ("u3", "v3", "w3", "zeta"):
+        arr = np.ascontiguousarray(getattr(window, name))
+        h.update(name.encode())
+        h.update(str(arr.shape).encode())
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    for token in extra:
+        h.update(repr(token).encode())
+    return h.hexdigest()
+
+
+@dataclass
+class ForecastCacheStats:
+    """Hit/miss accounting of the result cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _result_nbytes(result: ForecastResult) -> int:
+    f = result.fields
+    return f.u3.nbytes + f.v3.nbytes + f.w3.nbytes + f.zeta.nbytes
+
+
+class ForecastCache:
+    """Thread-safe LRU of completed forecasts, keyed by window digest.
+
+    Parameters
+    ----------
+    capacity_bytes: byte budget over the cached *field* arrays.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        self._lru = LruBytes(capacity_bytes, size_of=_result_nbytes)
+        self.stats = ForecastCacheStats()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._lru.used_bytes
+
+    def get(self, key: str) -> Optional[ForecastResult]:
+        """Cached result for ``key`` (a private copy), or ``None``."""
+        with self._lock:
+            cached = self._lru.get(key)
+            if cached is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return ForecastResult(cached.fields.copy(), 0.0,
+                                  cached.episodes)
+
+    def put(self, key: str, result: ForecastResult) -> None:
+        """Store a completed forecast (a private copy of its fields)."""
+        stored = ForecastResult(result.fields.copy(),
+                                result.inference_seconds, result.episodes)
+        with self._lock:
+            self.stats.evictions += self._lru.put(key, stored)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._lru.clear()

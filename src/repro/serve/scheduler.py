@@ -1,0 +1,422 @@
+"""Dynamic micro-batching scheduler over the batched forecast engine.
+
+PR 1 made the inference core batch-generic
+(:meth:`~repro.workflow.engine.ForecastEngine.forecast_batch`); this
+module turns *independent incoming requests* into those batches.  A
+:class:`MicroBatchScheduler` keeps a FIFO queue of pending forecast
+requests and flushes a micro-batch to the engine whenever
+
+* the queue reaches ``max_batch`` pending requests ("full"), or
+* ``max_wait`` seconds have elapsed since the oldest pending request
+  arrived ("timeout"), or
+* a client forces it ("flush" / "close").
+
+Batching changes *which requests share a forward*, never the numbers:
+a request's result is bitwise-identical to calling
+``engine.forecast_batch`` directly on the micro-batch it landed in
+(the scheduler literally makes that call), and request→result pairing
+is preserved no matter how arrivals interleave.
+
+Two drive modes:
+
+* **threaded** (``autostart=True``, the serving default): a daemon
+  worker owns the flush policy; clients just :meth:`submit` and wait
+  on the returned :class:`ServedFuture`.
+* **manual** (``autostart=False``, for deterministic tests and traces):
+  no worker runs; the caller advances the queue with :meth:`step` /
+  :meth:`flush`.
+
+The scheduler also *is* a batch executor (``forecast_batch`` /
+``time_steps``), so :class:`~repro.workflow.ensemble.EnsembleForecaster`
+and :class:`~repro.workflow.hybrid.HybridWorkflow` accept it anywhere
+they accept a :class:`~repro.workflow.forecast.SurrogateForecaster` —
+served and direct calls share one code path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workflow.engine import FieldWindow, ForecastResult
+
+__all__ = ["ServedFuture", "BatchRecord", "RequestRecord", "ServeMetrics",
+           "MicroBatchScheduler"]
+
+
+class ServedFuture:
+    """Completion handle for one scheduled forecast request.
+
+    ``result()`` blocks until the micro-batch containing the request
+    has run, then returns its :class:`ForecastResult` (or re-raises the
+    engine's exception).  After completion the placement metadata
+    (``batch_index``, ``batch_size``, ``queue_seconds``,
+    ``latency_seconds``) records where the request landed.
+    """
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self.batch_index: Optional[int] = None
+        self.batch_size: Optional[int] = None
+        self.queue_seconds: Optional[float] = None
+        self.latency_seconds: Optional[float] = None
+        self.cache_hit = False
+        self._event = threading.Event()
+        self._result: Optional[ForecastResult] = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List = []
+        self._cb_lock = threading.Lock()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ForecastResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not served within {timeout}s")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` when the request completes (immediately if
+        it already has).  Callbacks run on the completing thread and
+        must be cheap; exceptions they raise are swallowed."""
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        self._invoke(fn)
+
+    def _invoke(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:        # noqa: BLE001 — callbacks must not kill the worker
+            pass
+
+    # -- completion (scheduler-side) -----------------------------------
+    def _finish(self) -> None:
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._invoke(fn)
+
+    def _complete(self, result: ForecastResult) -> None:
+        self._result = result
+        self._finish()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._finish()
+
+
+@dataclass
+class _Request:
+    """Queue entry: the window, its future, and its arrival time."""
+
+    window: FieldWindow
+    future: ServedFuture
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One executed micro-batch, for occupancy accounting and audits."""
+
+    index: int
+    size: int
+    request_ids: Tuple[int, ...]
+    seconds: float               # engine.forecast_batch wall-clock
+    trigger: str                 # "full" | "timeout" | "flush" | "close"
+    failed: bool = False         # engine raised; its futures carry the error
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Per-request serving latency decomposition."""
+
+    request_id: int
+    batch_index: int
+    queue_seconds: float         # enqueue → batch execution start
+    latency_seconds: float       # enqueue → result available
+
+
+@dataclass
+class ServeMetrics:
+    """Aggregated serving metrics: occupancy and latency.
+
+    ``mean_occupancy`` is the request-coalescing figure of merit — it
+    stays at 1.0 when every forward serves one request (no batching
+    win) and approaches ``max_batch`` at saturating offered load.
+    """
+
+    batches: List[BatchRecord] = field(default_factory=list)
+    requests: List[RequestRecord] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def n_failed_batches(self) -> int:
+        return sum(b.failed for b in self.batches)
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.batches:
+            return float("nan")
+        return self.n_requests / self.n_batches
+
+    @property
+    def max_occupancy(self) -> int:
+        return max((b.size for b in self.batches), default=0)
+
+    def occupancy_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for b in self.batches:
+            hist[b.size] = hist.get(b.size, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.requests:
+            return float("nan")
+        return float(np.percentile(
+            [r.latency_seconds for r in self.requests], q))
+
+    def queue_percentile(self, q: float) -> float:
+        if not self.requests:
+            return float("nan")
+        return float(np.percentile(
+            [r.queue_seconds for r in self.requests], q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "failed_batches": self.n_failed_batches,
+            "mean_occupancy": self.mean_occupancy,
+            "max_occupancy": self.max_occupancy,
+            "latency_p50_ms": 1e3 * self.latency_percentile(50),
+            "latency_p95_ms": 1e3 * self.latency_percentile(95),
+            "queue_p50_ms": 1e3 * self.queue_percentile(50),
+            "engine_seconds": sum(b.seconds for b in self.batches),
+        }
+
+
+class MicroBatchScheduler:
+    """Coalesce concurrent forecast requests into engine micro-batches.
+
+    Parameters
+    ----------
+    engine: any batch executor with ``forecast_batch`` and
+        ``time_steps`` (a :class:`~repro.workflow.engine.ForecastEngine`
+        or :class:`~repro.workflow.forecast.SurrogateForecaster`).
+    max_batch: flush as soon as this many requests are pending.
+    max_wait: flush at most this many seconds after the oldest pending
+        request arrived — the tail-latency bound a lone request pays
+        for the chance of sharing its forward.
+    autostart: start the worker thread (threaded mode).  With
+        ``False`` the caller drives the queue via :meth:`step` /
+        :meth:`flush` (manual mode — deterministic, thread-free).
+    """
+
+    def __init__(self, engine, max_batch: int = 8,
+                 max_wait: float = 0.005, autostart: bool = True):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.metrics = ServeMetrics()
+        self._queue: Deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._pending = threading.Condition(self._lock)
+        self._mesh: Optional[Dict[str, tuple]] = None
+        self._next_id = 0
+        self._n_batches = 0
+        self._closed = False
+        self._worker: Optional[threading.Thread] = None
+        if autostart:
+            self._worker = threading.Thread(
+                target=self._serve_loop, name="microbatch-scheduler",
+                daemon=True)
+            self._worker.start()
+
+    # -- batch-executor protocol ---------------------------------------
+    @property
+    def time_steps(self) -> int:
+        return self.engine.time_steps
+
+    def forecast_batch(self, references: Sequence[FieldWindow]
+                       ) -> List[ForecastResult]:
+        """Submit N windows and wait for all results (executor protocol).
+
+        In threaded mode the windows coalesce with any other pending
+        traffic; in manual mode the queue is flushed inline so the call
+        cannot deadlock.  Must not be called from the worker thread.
+        """
+        futures = [self.submit(r) for r in references]
+        if self._worker is None:
+            self.flush()
+        return [f.result() for f in futures]
+
+    def forecast(self, reference: FieldWindow) -> ForecastResult:
+        """Synchronous single-request convenience wrapper."""
+        return self.forecast_batch([reference])[0]
+
+    # -- client side ----------------------------------------------------
+    def submit(self, reference: FieldWindow) -> ServedFuture:
+        """Enqueue one forecast request; returns immediately.
+
+        Requests are validated here (episode length, shared mesh) so a
+        malformed request fails alone instead of poisoning the
+        micro-batch it would have joined.
+        """
+        T = self.time_steps
+        if reference.T != T:
+            raise ValueError(
+                f"window length {reference.T} != model time_steps {T}")
+        shapes = {var: getattr(reference, var).shape
+                  for var in ("u3", "v3", "w3", "zeta")}
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._mesh is None:
+                self._mesh = shapes
+            elif shapes != self._mesh:
+                bad = next(v for v in shapes
+                           if shapes[v] != self._mesh[v])
+                raise ValueError(
+                    "all requests of one scheduler must share one mesh; "
+                    f"got {bad} {shapes[bad]} != {self._mesh[bad]}")
+            future = ServedFuture(self._next_id)
+            self._next_id += 1
+            self._queue.append(_Request(reference, future,
+                                        time.perf_counter()))
+            self._pending.notify_all()
+        return future
+
+    # -- manual drive ---------------------------------------------------
+    def step(self, trigger: str = "flush") -> int:
+        """Run ONE micro-batch (≤ ``max_batch``) from the queue head.
+
+        Returns the number of requests served (0 if the queue is
+        empty).  This is the manual-mode scheduling quantum; tests use
+        it to realise arbitrary arrival/flush interleavings
+        deterministically.
+        """
+        with self._lock:
+            batch = self._pop_batch_locked()
+        if not batch:
+            return 0
+        self._run_batch(batch, trigger)
+        return len(batch)
+
+    def flush(self) -> int:
+        """Drain the whole queue now; returns requests served."""
+        total = 0
+        while True:
+            n = self.step("flush")
+            if n == 0:
+                return total
+            total += n
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting requests, serve the backlog, join the worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+        # manual mode (or anything the worker left behind on shutdown)
+        while True:
+            with self._lock:
+                batch = self._pop_batch_locked()
+            if not batch:
+                break
+            self._run_batch(batch, "close")
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- scheduling core ------------------------------------------------
+    def _pop_batch_locked(self) -> List[_Request]:
+        n = min(self.max_batch, len(self._queue))
+        return [self._queue.popleft() for _ in range(n)]
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._pending:
+                while not self._queue and not self._closed:
+                    self._pending.wait()
+                if not self._queue:
+                    return          # closed and drained
+                # oldest pending request fixes the flush deadline
+                deadline = self._queue[0].enqueued_at + self.max_wait
+                trigger = "timeout"
+                while len(self._queue) < self.max_batch:
+                    if self._closed:
+                        trigger = "close"
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._pending.wait(remaining)
+                else:
+                    trigger = "full"
+                batch = self._pop_batch_locked()
+            self._run_batch(batch, trigger)
+
+    def _run_batch(self, batch: List[_Request], trigger: str) -> None:
+        start = time.perf_counter()
+        failure: Optional[BaseException] = None
+        try:
+            results = self.engine.forecast_batch(
+                [r.window for r in batch])
+        except BaseException as exc:     # noqa: BLE001 — worker must survive
+            failure = exc
+        seconds = time.perf_counter() - start
+        done = time.perf_counter()
+        with self._lock:
+            index = self._n_batches
+            self._n_batches += 1
+            self.metrics.batches.append(BatchRecord(
+                index=index, size=len(batch),
+                request_ids=tuple(r.future.request_id for r in batch),
+                seconds=seconds, trigger=trigger,
+                failed=failure is not None))
+            for req in batch:
+                self.metrics.requests.append(RequestRecord(
+                    request_id=req.future.request_id, batch_index=index,
+                    queue_seconds=start - req.enqueued_at,
+                    latency_seconds=done - req.enqueued_at))
+        if failure is not None:
+            for req in batch:
+                req.future._fail(failure)
+            return
+        for req, res in zip(batch, results):
+            fut = req.future
+            fut.batch_index = index
+            fut.batch_size = len(batch)
+            fut.queue_seconds = start - req.enqueued_at
+            fut.latency_seconds = done - req.enqueued_at
+            fut._complete(res)

@@ -1,0 +1,195 @@
+"""Serving front door: one shared engine behind three request kinds.
+
+:class:`ForecastServer` routes
+
+* **plain forecasts** — deduplicated through the keyed result cache,
+  then coalesced by the micro-batching scheduler;
+* **ensemble requests** — the N perturbed members are sharded across
+  the scheduler's batch axis (they interleave with unrelated traffic
+  instead of monopolising a forward);
+* **hybrid runs** — executed by the verifier-gated
+  :class:`~repro.workflow.hybrid.HybridWorkflow` with the scheduler
+  injected as its engine, so surrogate passes coalesce while solver
+  fallbacks are dispatched out-of-band on a worker pool and never
+  block the batch loop.
+
+All three reuse the exact direct-call code paths — the scheduler is
+just another batch executor — so served numbers equal direct numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..ocean.model import RomsLikeModel
+from ..ocean.swe import ShallowWaterState
+from ..physics.verifier import Verifier
+from ..workflow.engine import FieldWindow, ForecastResult
+from ..workflow.ensemble import EnsembleForecast, EnsembleForecaster
+from ..workflow.hybrid import HybridWorkflow, WorkflowReport
+from .cache import ForecastCache, window_key
+from .scheduler import MicroBatchScheduler, ServedFuture
+
+__all__ = ["ForecastServer"]
+
+
+class ForecastServer:
+    """Shared-engine serving endpoint with micro-batching and caching.
+
+    Parameters
+    ----------
+    engine: batch executor (``forecast_batch`` + ``time_steps``).
+    max_batch, max_wait: scheduler flush policy
+        (:class:`MicroBatchScheduler`).
+    cache_bytes: result-cache budget; 0 disables caching.
+    ocean, verifier: hybrid-run dependencies; required only when
+        :meth:`submit_hybrid` is used.
+    fallback_workers: thread-pool width for out-of-band work (hybrid
+        runs and their solver fallbacks).
+    """
+
+    def __init__(self, engine, max_batch: int = 8, max_wait: float = 0.005,
+                 cache_bytes: int = 0,
+                 ocean: Optional[RomsLikeModel] = None,
+                 verifier: Optional[Verifier] = None,
+                 fallback_workers: int = 2):
+        self.scheduler = MicroBatchScheduler(engine, max_batch=max_batch,
+                                             max_wait=max_wait)
+        self.cache = ForecastCache(cache_bytes) if cache_bytes > 0 else None
+        self.ocean = ocean
+        self.verifier = verifier
+        # two pools so a hybrid run blocking on its own fallbacks can
+        # never deadlock: runs (and cache fills) on one, solver
+        # fallbacks on the other
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(fallback_workers)),
+            thread_name_prefix="serve-run")
+        self._solver_pool = ThreadPoolExecutor(
+            max_workers=max(1, int(fallback_workers)),
+            thread_name_prefix="serve-solver")
+        # in-flight dedup: identical requests that arrive before the
+        # first result lands follow one leader instead of each taking
+        # an engine batch slot
+        self._inflight: Dict[str, ServedFuture] = {}
+        self._inflight_lock = threading.Lock()
+        self.deduped_requests = 0
+
+    # -- plain forecasts ------------------------------------------------
+    def submit(self, reference: FieldWindow) -> ServedFuture:
+        """Queue one forecast; cache hits complete immediately."""
+        if self.cache is None:
+            return self.scheduler.submit(reference)
+        key = window_key(reference)
+        cached = self.cache.get(key)
+        if cached is not None:
+            future = ServedFuture(request_id=-1)
+            future.cache_hit = True
+            future.batch_size = 0
+            future.queue_seconds = 0.0
+            future.latency_seconds = 0.0
+            future._complete(cached)
+            return future
+        with self._inflight_lock:
+            leader = self._inflight.get(key)
+            if leader is not None:
+                # identical request already queued: follow it instead
+                # of occupying another engine batch slot
+                self.deduped_requests += 1
+                follower = ServedFuture(request_id=-1)
+                follower.cache_hit = True
+                leader.add_done_callback(
+                    lambda fut: self._follow(follower, fut))
+                return follower
+            future = self.scheduler.submit(reference)
+            self._inflight[key] = future
+        # settle the cache the moment the micro-batch lands — a done
+        # callback, so no pool thread sits blocked per miss
+        future.add_done_callback(lambda fut: self._settle(key, fut))
+        return future
+
+    @staticmethod
+    def _follow(follower: ServedFuture, leader: ServedFuture) -> None:
+        try:
+            result = leader.result(timeout=0)
+        except BaseException as exc:     # noqa: BLE001 — mirror the leader
+            follower._fail(exc)
+            return
+        # private copy: leader and follower consumers mutate freely
+        follower._complete(ForecastResult(result.fields.copy(), 0.0,
+                                          result.episodes))
+
+    def _settle(self, key: str, future: ServedFuture) -> None:
+        try:
+            self.cache.put(key, future.result(timeout=0))
+        except Exception:        # noqa: BLE001 — a failed request caches nothing
+            pass
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+
+    def forecast(self, reference: FieldWindow) -> ForecastResult:
+        """Synchronous plain forecast."""
+        return self.submit(reference).result()
+
+    # -- ensembles ------------------------------------------------------
+    def submit_ensemble(self, reference: FieldWindow, n_members: int = 8,
+                        wet=None, **kwargs) -> "Future[EnsembleForecast]":
+        """Run an IC-perturbation ensemble through the shared scheduler.
+
+        The members are sharded across the scheduler's batch axis;
+        ``kwargs`` forward to
+        :class:`~repro.workflow.ensemble.EnsembleForecaster`.
+        """
+        ens = EnsembleForecaster(self.scheduler, n_members=n_members,
+                                 **kwargs)
+        return self._pool.submit(ens.forecast, reference, wet)
+
+    # -- hybrid runs ----------------------------------------------------
+    def submit_hybrid(self, reference: FieldWindow,
+                      fallback_states: Sequence[ShallowWaterState],
+                      threshold: Optional[float] = None
+                      ) -> "Future[Tuple[FieldWindow, WorkflowReport]]":
+        """Run a verifier-gated hybrid scenario out-of-band.
+
+        The scenario's surrogate passes go through the scheduler (they
+        coalesce with every other pending request); verification and
+        any solver fallbacks run on the worker pool, away from the
+        batch loop.
+        """
+        if self.ocean is None or self.verifier is None:
+            raise ValueError(
+                "hybrid serving needs the server constructed with "
+                "ocean= and verifier=")
+        workflow = HybridWorkflow(self.scheduler, self.ocean, self.verifier,
+                                  fallback_pool=self._solver_pool)
+        return self._pool.submit(workflow.run, reference, fallback_states,
+                                 threshold)
+
+    # -- observability --------------------------------------------------
+    def metrics(self) -> Dict[str, float]:
+        """Scheduler occupancy/latency plus cache effectiveness."""
+        out = self.scheduler.metrics.summary()
+        if self.cache is not None:
+            out.update({
+                "deduped_requests": self.deduped_requests,
+                "cache_hits": self.cache.stats.hits,
+                "cache_misses": self.cache.stats.misses,
+                "cache_hit_rate": self.cache.stats.hit_rate,
+                "cache_evictions": self.cache.stats.evictions,
+                "cache_resident_bytes": self.cache.resident_bytes,
+            })
+        return out
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        self._solver_pool.shutdown(wait=True)
+        self.scheduler.close()
+
+    def __enter__(self) -> "ForecastServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

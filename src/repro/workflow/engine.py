@@ -57,6 +57,19 @@ class FieldWindow:
 
     @staticmethod
     def concat(windows: Sequence["FieldWindow"]) -> "FieldWindow":
+        """Concatenate windows along time; meshes must match exactly."""
+        windows = list(windows)
+        if not windows:
+            raise ValueError("FieldWindow.concat: no windows to concatenate")
+        base = windows[0]
+        for i, w in enumerate(windows[1:], start=1):
+            for var in ("u3", "v3", "w3", "zeta"):
+                got = getattr(w, var).shape[1:]
+                want = getattr(base, var).shape[1:]
+                if got != want:
+                    raise ValueError(
+                        "FieldWindow.concat: windows must share one mesh; "
+                        f"window {i} has {var} mesh {got} != {want}")
         return FieldWindow(
             np.concatenate([w.u3 for w in windows], axis=0),
             np.concatenate([w.v3 for w in windows], axis=0),
@@ -98,10 +111,23 @@ class ForecastEngine:
         cfg = model.config
         self.pad_hw = (cfg.mesh[0], cfg.mesh[1])
 
+    @property
+    def time_steps(self) -> int:
+        """Episode length T — part of the batch-executor protocol."""
+        return self.model.config.time_steps
+
     # ------------------------------------------------------------------
     def _normalize_batch(self, references: Sequence[FieldWindow]
                          ) -> Dict[str, np.ndarray]:
         """Stack, normalise and pad N windows: (N, T, H', W'[, D])."""
+        base = references[0]
+        for i, r in enumerate(references):
+            for var in ("u3", "v3", "w3", "zeta"):
+                got, want = getattr(r, var).shape, getattr(base, var).shape
+                if got != want:
+                    raise ValueError(
+                        "all windows of a batch must share one mesh; "
+                        f"window {i} has {var} {got} != {want}")
         ph, pw = self.pad_hw
         stacks = {
             "u3": np.stack([r.u3 for r in references]),
@@ -135,17 +161,11 @@ class ForecastEngine:
         references = list(references)
         if not references:
             return []
-        cfg = self.model.config
-        T = cfg.time_steps
-        shape0 = references[0].zeta.shape
-        for i, r in enumerate(references):
+        T = self.time_steps
+        for r in references:
             if r.T != T:
                 raise ValueError(
                     f"window length {r.T} != model time_steps {T}")
-            if r.zeta.shape != shape0:
-                raise ValueError(
-                    "all windows of a batch must share one mesh; window "
-                    f"{i} has {r.zeta.shape} != {shape0}")
 
         norm = self._normalize_batch(references)
         x3d, x2d = assemble_episode_input_batch(
@@ -160,7 +180,7 @@ class ForecastEngine:
                 Tensor(np.ascontiguousarray(x2d, dtype=np.float32)))
         seconds = time.perf_counter() - t0
 
-        H, W = shape0[1:3]
+        H, W = references[0].zeta.shape[1:3]
         # (N, 3, H', W', D, T) → (N, 3, T, H', W', D); ζ → (N, T, H', W')
         # denormalised in float64 so the exact initial condition can be
         # restored losslessly below

@@ -46,14 +46,20 @@ class EnsembleForecaster:
 
     Parameters
     ----------
-    forecaster: trained deterministic surrogate.
+    forecaster: any batch executor — an object with
+        ``forecast_batch(windows) -> list[ForecastResult]``.  Direct
+        callers pass a :class:`SurrogateForecaster` (or the engine
+        itself); a serving deployment injects a
+        :class:`~repro.serve.scheduler.MicroBatchScheduler`, which
+        shards the members across its micro-batches.  Both routes run
+        the same code.
     n_members: ensemble size (member 0 is always unperturbed).
     zeta_sigma, velocity_sigma: IC perturbation scales [m], [m/s] —
         calibrate to the analysis uncertainty of the operational system.
     seed: RNG seed; the ensemble is fully reproducible.
     """
 
-    def __init__(self, forecaster: SurrogateForecaster,
+    def __init__(self, forecaster: "SurrogateForecaster",
                  n_members: int = 8, zeta_sigma: float = 0.02,
                  velocity_sigma: float = 0.02, seed: int = 0):
         if n_members < 2:
@@ -88,8 +94,9 @@ class EnsembleForecaster:
                  wet: Optional[np.ndarray] = None) -> EnsembleForecast:
         """Run the ensemble for one episode.
 
-        All N members share a single batched model forward through
-        :meth:`SurrogateForecaster.forecast_batch`.
+        All N members go through the injected executor's
+        ``forecast_batch``: one batched model forward when driven
+        directly, scheduler micro-batches when served.
         """
         perturbed = [self._perturbed(reference, m, wet)
                      for m in range(self.n_members)]

@@ -37,6 +37,11 @@ class SurrogateForecaster:
         self.boundary_width = boundary_width
         self.pad_hw = self.engine.pad_hw
 
+    @property
+    def time_steps(self) -> int:
+        """Episode length T — part of the batch-executor protocol."""
+        return self.engine.time_steps
+
     def forecast_batch(self, references: Sequence[FieldWindow]
                        ) -> List[ForecastResult]:
         """Forecast N episodes in one vectorised model forward."""

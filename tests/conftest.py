@@ -7,6 +7,8 @@ path: two patch mergings, shifted windows, multi-episode stores.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 
@@ -102,3 +104,25 @@ def tiny_surrogate(tiny_surrogate_config):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(12345)
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def count_forwards(model):
+    """Count calls to ``model.forward`` via an instance-level wrapper."""
+    counter = {"n": 0}
+    orig = model.forward
+
+    def wrapped(*args, **kwargs):
+        counter["n"] += 1
+        return orig(*args, **kwargs)
+
+    object.__setattr__(model, "forward", wrapped)
+    try:
+        yield counter
+    finally:
+        object.__delattr__(model, "forward")

@@ -5,10 +5,9 @@ The batched inference stack must be a pure optimisation: every consumer
 per-episode path while issuing exactly one model forward per stage.
 """
 
-from contextlib import contextmanager
-
 import numpy as np
 import pytest
+from conftest import count_forwards
 
 from repro.data import DataLoader, SlidingWindowDataset
 from repro.data.dataset import assemble_episode_input, assemble_episode_input_batch
@@ -26,23 +25,6 @@ from repro.workflow import (
 )
 
 T = 4
-
-
-@contextmanager
-def count_forwards(model):
-    """Count calls to ``model.forward`` via an instance-level wrapper."""
-    counter = {"n": 0}
-    orig = model.forward
-
-    def wrapped(*args, **kwargs):
-        counter["n"] += 1
-        return orig(*args, **kwargs)
-
-    object.__setattr__(model, "forward", wrapped)
-    try:
-        yield counter
-    finally:
-        object.__delattr__(model, "forward")
 
 
 @pytest.fixture(scope="module")

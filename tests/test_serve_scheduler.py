@@ -1,0 +1,463 @@
+"""Serving subsystem: equivalence, ordering, flush-policy properties.
+
+The scheduler must be a pure routing layer: every request's result is
+bitwise-identical to a direct ``ForecastEngine.forecast_batch`` call on
+the micro-batch it landed in, request→result pairing survives arbitrary
+arrival interleavings, and the ``max_batch``/``max_wait`` policy fixes
+exactly when the queue flushes.  These tests use an untrained tiny
+surrogate on synthetic windows — inference is deterministic either way,
+and nothing here depends on forecast quality.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+from conftest import count_forwards
+
+from repro.data import Normalizer
+from repro.hpc import ServingCapacityModel
+from repro.serve import (
+    ForecastCache,
+    ForecastServer,
+    MicroBatchScheduler,
+    window_key,
+)
+from repro.serve.scheduler import BatchRecord
+from repro.workflow import EnsembleForecaster, ForecastEngine, HybridWorkflow
+from repro.workflow.engine import FieldWindow
+
+T = 4
+H, W, D = 15, 14, 6
+VARS = ("u3", "v3", "w3", "zeta")
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_surrogate):
+    norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
+    return ForecastEngine(tiny_surrogate, norm)
+
+
+def make_window(seed, t=T, h=H, w=W, d=D):
+    r = np.random.default_rng(seed)
+    return FieldWindow(r.normal(size=(t, h, w, d)),
+                       r.normal(size=(t, h, w, d)),
+                       r.normal(size=(t, h, w, d)),
+                       r.normal(size=(t, h, w)))
+
+
+@pytest.fixture(scope="module")
+def windows():
+    return [make_window(seed) for seed in range(12)]
+
+
+def assert_windows_equal(a, b):
+    for var in VARS:
+        np.testing.assert_array_equal(getattr(a, var), getattr(b, var))
+
+
+def assert_batches_bitwise(scheduler, engine, by_id):
+    """Each realised micro-batch must equal the direct engine call on
+    its exact composition — the core scheduling-is-pure property."""
+    assert scheduler.metrics.batches, "no batches were executed"
+    for batch in scheduler.metrics.batches:
+        direct = engine.forecast_batch(
+            [by_id[rid] for rid in batch.request_ids])
+        for rid, d in zip(batch.request_ids, direct):
+            assert_windows_equal(by_id[rid].served.fields, d.fields)
+
+
+class _Tagged(FieldWindow):
+    """FieldWindow that remembers the result served for it."""
+
+
+def submit_tagged(scheduler, window):
+    tagged = _Tagged(window.u3, window.v3, window.w3, window.zeta)
+    tagged.future = scheduler.submit(tagged)
+    return tagged
+
+
+def resolve(tagged_windows, timeout=60.0):
+    by_id = {}
+    for t in tagged_windows:
+        t.served = t.future.result(timeout=timeout)
+        by_id[t.future.request_id] = t
+    return by_id
+
+
+class TestEquivalence:
+    def test_manual_mode_bitwise_equal_direct(self, engine, windows):
+        s = MicroBatchScheduler(engine, max_batch=3, max_wait=10.0,
+                                autostart=False)
+        futures = [s.submit(w) for w in windows[:5]]
+        assert s.step() == 3 and s.step() == 2 and s.step() == 0
+        direct = engine.forecast_batch(windows[:3]) \
+            + engine.forecast_batch(windows[3:5])
+        for fut, d in zip(futures, direct):
+            assert_windows_equal(fut.result(timeout=1).fields, d.fields)
+        assert [f.batch_size for f in futures] == [3, 3, 3, 2, 2]
+        s.close()
+
+    def test_threaded_full_batch_bitwise_equal_direct(self, engine,
+                                                      windows):
+        with MicroBatchScheduler(engine, max_batch=4, max_wait=30.0) as s:
+            with count_forwards(engine.model) as calls:
+                futures = [s.submit(w) for w in windows[:4]]
+                results = [f.result(timeout=60) for f in futures]
+        assert calls["n"] == 1                      # one coalesced forward
+        direct = engine.forecast_batch(windows[:4])
+        for r, d in zip(results, direct):
+            assert_windows_equal(r.fields, d.fields)
+        assert s.metrics.batches[0].trigger == "full"
+
+    def test_executor_protocol_matches_direct(self, engine, windows):
+        """scheduler.forecast_batch is drop-in for engine.forecast_batch."""
+        with MicroBatchScheduler(engine, max_batch=5, max_wait=30.0) as s:
+            served = s.forecast_batch(windows[:5])
+        direct = engine.forecast_batch(windows[:5])
+        for r, d in zip(served, direct):
+            assert_windows_equal(r.fields, d.fields)
+
+
+class TestOrderingProperties:
+    def test_arbitrary_manual_interleavings(self, engine, windows):
+        """For ANY interleaving of submits and scheduling quanta, every
+        request gets its own result and every realised batch is bitwise
+        a direct engine call."""
+        rng = np.random.default_rng(20260730)
+        for trial in range(4):
+            s = MicroBatchScheduler(engine, max_batch=3, max_wait=10.0,
+                                    autostart=False)
+            pending = list(rng.permutation(10))
+            tagged = []
+            while pending or any(not t.future.done() for t in tagged):
+                if pending and (rng.random() < 0.6 or not tagged):
+                    seed = int(pending.pop())
+                    tagged.append(submit_tagged(s, make_window(seed)))
+                else:
+                    s.step()
+            by_id = resolve(tagged, timeout=1.0)
+            # pairing: slot 0 is the exact IC of the submitted window
+            for t in tagged:
+                np.testing.assert_array_equal(t.served.fields.zeta[0],
+                                              t.zeta[0])
+            assert_batches_bitwise(s, engine, by_id)
+            assert all(b.size <= 3 for b in s.metrics.batches)
+            s.close()
+
+    def test_concurrent_clients_threaded(self, engine):
+        """3 client threads × 4 requests with jittered arrivals: all are
+        answered, each with its own forecast, in engine-pure batches."""
+        s = MicroBatchScheduler(engine, max_batch=3, max_wait=0.02)
+        tagged, lock = [], threading.Lock()
+        rng = np.random.default_rng(7)
+        delays = rng.uniform(0.0, 0.01, size=(3, 4))
+
+        def client(cid):
+            import time
+            for k in range(4):
+                time.sleep(delays[cid, k])
+                t = submit_tagged(s, make_window(100 + 10 * cid + k))
+                with lock:
+                    tagged.append(t)
+
+        threads = [threading.Thread(target=client, args=(c,))
+                   for c in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        by_id = resolve(tagged, timeout=60.0)
+        s.close()
+
+        assert len(by_id) == 12
+        for t in tagged:
+            np.testing.assert_array_equal(t.served.fields.zeta[0],
+                                          t.zeta[0])
+        assert sum(b.size for b in s.metrics.batches) == 12
+        assert all(1 <= b.size <= 3 for b in s.metrics.batches)
+        assert_batches_bitwise(s, engine, by_id)
+        assert s.metrics.n_requests == 12
+
+
+class TestFlushPolicy:
+    @pytest.mark.parametrize("n,max_batch", [(10, 4), (8, 8), (5, 1)])
+    def test_forward_count_is_ceil_n_over_max_batch(self, engine, n,
+                                                    max_batch):
+        s = MicroBatchScheduler(engine, max_batch=max_batch, max_wait=10.0,
+                                autostart=False)
+        futures = [s.submit(make_window(k)) for k in range(n)]
+        with count_forwards(engine.model) as calls:
+            assert s.flush() == n
+        assert calls["n"] == math.ceil(n / max_batch)
+        sizes = [b.size for b in s.metrics.batches]
+        assert sum(sizes) == n and max(sizes) <= max_batch
+        assert all(f.done() for f in futures)
+        s.close()
+
+    def test_lone_request_flushed_by_timeout(self, engine, windows):
+        with MicroBatchScheduler(engine, max_batch=8, max_wait=0.05) as s:
+            fut = s.submit(windows[0])
+            fut.result(timeout=60)
+        assert fut.batch_size == 1
+        assert s.metrics.batches[0].trigger == "timeout"
+        # it waited for company ≈ max_wait before giving up
+        assert fut.queue_seconds >= 0.04
+
+    def test_close_serves_backlog(self, engine, windows):
+        s = MicroBatchScheduler(engine, max_batch=4, max_wait=10.0,
+                                autostart=False)
+        futures = [s.submit(w) for w in windows[:2]]
+        s.close()
+        assert all(f.done() for f in futures)
+        assert s.metrics.batches[-1].trigger == "close"
+        with pytest.raises(RuntimeError, match="closed"):
+            s.submit(windows[0])
+
+    def test_submit_validates_length_and_mesh(self, engine, windows):
+        s = MicroBatchScheduler(engine, max_batch=4, max_wait=10.0,
+                                autostart=False)
+        with pytest.raises(ValueError, match="time_steps"):
+            s.submit(make_window(0, t=T + 1))
+        s.submit(windows[0])
+        with pytest.raises(ValueError, match="share one mesh"):
+            s.submit(make_window(0, h=H - 1))
+        # a wrong *volume* depth must also be rejected at submit (zeta
+        # alone matches) so it cannot poison co-batched requests
+        shallow = make_window(0, d=D - 1)
+        with pytest.raises(ValueError, match="share one mesh"):
+            s.submit(FieldWindow(shallow.u3, shallow.v3, shallow.w3,
+                                 s._queue[0].window.zeta.copy()))
+        assert s.flush() == 1               # the good request is unharmed
+        s.close()
+
+    def test_engine_failure_fails_futures_not_worker(self, engine,
+                                                     windows):
+        class Flaky:
+            """Engine that fails its first forward, then recovers."""
+
+            def __init__(self, inner):
+                self.inner, self.failed = inner, False
+                self.time_steps = inner.time_steps
+
+            def forecast_batch(self, refs):
+                if not self.failed:
+                    self.failed = True
+                    raise RuntimeError("transient backend failure")
+                return self.inner.forecast_batch(refs)
+
+        with MicroBatchScheduler(Flaky(engine), max_batch=1,
+                                 max_wait=0.01) as s:
+            bad = s.submit(windows[0])
+            with pytest.raises(RuntimeError, match="transient"):
+                bad.result(timeout=60)
+            good = s.submit(windows[1])       # worker must still serve
+            ok = good.result(timeout=60)
+        assert_windows_equal(ok.fields,
+                             engine.forecast_batch([windows[1]])[0].fields)
+        # the failed batch must be visible in the metrics, not vanish
+        assert s.metrics.n_batches == 2
+        assert s.metrics.n_failed_batches == 1
+        assert s.metrics.batches[0].failed
+        assert not s.metrics.batches[1].failed
+        assert s.metrics.n_requests == 2
+        assert s.metrics.summary()["failed_batches"] == 1
+
+
+class TestForecastCache:
+    def test_window_key_is_content_addressed(self, windows):
+        a = windows[0]
+        same = FieldWindow(a.u3.copy(), a.v3.copy(), a.w3.copy(),
+                           a.zeta.copy())
+        assert window_key(a) == window_key(same)
+        other = a.copy()
+        other.zeta[1, 2, 3] += 1e-9
+        assert window_key(a) != window_key(other)
+        assert window_key(a, extra=("members", 8)) != window_key(a)
+
+    def test_hit_returns_private_copy(self, engine, windows):
+        cache = ForecastCache(1 << 24)
+        key = window_key(windows[0])
+        original = engine.forecast_batch([windows[0]])[0]
+        cache.put(key, original)
+        first = cache.get(key)
+        first.fields.zeta[0] = -999.0           # consumer mutates freely
+        second = cache.get(key)
+        assert_windows_equal(second.fields, original.fields)
+        assert cache.stats.hits == 2 and cache.stats.misses == 0
+
+    def test_duplicate_put_does_not_inflate_accounting(self, engine,
+                                                       windows):
+        """Concurrent identical misses both put the same key: the byte
+        accounting must reflect one resident copy, not two."""
+        from repro.data import LruBytes
+        lru = LruBytes(300, size_of=lambda v: 100)
+        lru.put("k", "a")
+        lru.put("k", "b")
+        assert lru.used_bytes == 100 and len(lru) == 1
+        assert lru.get("k") == "b"
+        assert lru.put("x", "c") == 0       # still fits without eviction
+        assert lru.used_bytes == 200
+
+        result = engine.forecast_batch([windows[0]])[0]
+        cache = ForecastCache(1 << 24)
+        key = window_key(windows[0])
+        cache.put(key, result)
+        before = cache.resident_bytes
+        cache.put(key, result)
+        assert cache.resident_bytes == before and len(cache) == 1
+
+    def test_lru_eviction_under_byte_budget(self, engine, windows):
+        one = engine.forecast_batch([windows[0]])[0]
+        f = one.fields
+        nbytes = f.u3.nbytes + f.v3.nbytes + f.w3.nbytes + f.zeta.nbytes
+        cache = ForecastCache(2 * nbytes)
+        results = engine.forecast_batch(windows[:3])
+        for w, r in zip(windows[:3], results):
+            cache.put(window_key(w), r)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(window_key(windows[0])) is None   # LRU victim
+        assert cache.get(window_key(windows[2])) is not None
+
+    def test_server_dedups_identical_requests(self, engine, windows):
+        with ForecastServer(engine, max_batch=4, max_wait=0.01,
+                            cache_bytes=1 << 24) as server:
+            first = server.forecast(windows[0])
+            # wait for the out-of-band cache fill to land
+            deadline = 60.0
+            import time
+            t0 = time.perf_counter()
+            while len(server.cache) == 0:
+                assert time.perf_counter() - t0 < deadline
+                time.sleep(0.005)
+            with count_forwards(engine.model) as calls:
+                again = server.forecast(windows[0])
+            assert calls["n"] == 0                  # served from cache
+            assert_windows_equal(again.fields, first.fields)
+            assert server.metrics()["cache_hits"] >= 1
+
+    def test_server_dedups_inflight_duplicates(self, engine, windows):
+        """A burst of identical requests arriving before the first
+        result lands follows one leader instead of each taking an
+        engine batch slot."""
+        with ForecastServer(engine, max_batch=8, max_wait=0.05,
+                            cache_bytes=1 << 24) as server:
+            futures = [server.submit(windows[1]) for _ in range(6)]
+            results = [f.result(timeout=60) for f in futures]
+        for r in results[1:]:
+            assert_windows_equal(r.fields, results[0].fields)
+        # the engine saw (almost always exactly) one of the six
+        assert server.deduped_requests >= 4
+        assert sum(b.size for b in server.scheduler.metrics.batches) <= 2
+
+    def test_follower_results_are_private_copies(self, engine, windows):
+        with ForecastServer(engine, max_batch=8, max_wait=0.05,
+                            cache_bytes=1 << 24) as server:
+            leader = server.submit(windows[2])
+            follower = server.submit(windows[2])
+            a = leader.result(timeout=60)
+            b = follower.result(timeout=60)
+        assert a.fields.zeta is not b.fields.zeta
+        a.fields.zeta[0] = -999.0
+        assert not np.array_equal(a.fields.zeta, b.fields.zeta)
+
+
+class TestServerRouting:
+    def test_served_ensemble_equals_direct(self, engine, windows):
+        direct = EnsembleForecaster(engine, n_members=4,
+                                    seed=3).forecast(windows[0])
+        with ForecastServer(engine, max_batch=4, max_wait=5.0) as server:
+            served = server.submit_ensemble(windows[0], n_members=4,
+                                            seed=3).result(timeout=120)
+        assert served.n_members == 4
+        for sm, dm in zip(served.members, direct.members):
+            assert_windows_equal(sm, dm)
+        assert_windows_equal(served.mean, direct.mean)
+        assert_windows_equal(served.spread, direct.spread)
+        # all 4 members shared micro-batches: occupancy above 1
+        assert server.scheduler.metrics.mean_occupancy > 1.0
+
+    def test_served_hybrid_equals_direct(self, engine, tiny_ocean):
+        from repro.physics import Verifier
+        verifier = Verifier(tiny_ocean.grid, tiny_ocean.depth, dt=1800.0)
+        window = make_window(99, t=2 * T)
+        states = [object()] * 2     # never touched when every episode passes
+        direct = HybridWorkflow(engine, tiny_ocean, verifier).run(
+            window, states, threshold=1e30)
+        with ForecastServer(engine, max_batch=8, max_wait=0.01,
+                            ocean=tiny_ocean, verifier=verifier) as server:
+            fields, report = server.submit_hybrid(
+                window, states, threshold=1e30).result(timeout=120)
+        assert report.n_episodes == direct[1].n_episodes == 2
+        assert report.pass_rate == 1.0
+        assert_windows_equal(fields, direct[0])
+
+    def test_hybrid_without_deps_raises(self, engine, windows):
+        with ForecastServer(engine, max_batch=2, max_wait=0.01) as server:
+            with pytest.raises(ValueError, match="ocean"):
+                server.submit_hybrid(windows[0], [object()])
+
+
+class TestCapacityModel:
+    def test_recovers_affine_law_exactly(self):
+        a, b = 0.004, 0.0015
+        sizes = [1, 2, 3, 5, 8]
+        model = ServingCapacityModel.fit(
+            sizes, [a + b * s for s in sizes])
+        assert model.dispatch_seconds == pytest.approx(a, rel=1e-9)
+        assert model.per_request_seconds == pytest.approx(b, rel=1e-9)
+        assert model.saturation_throughput == pytest.approx(1 / b)
+        assert model.throughput(8) > model.throughput(1)
+        assert model.batch_seconds(2) == pytest.approx(a + 2 * b)
+
+    def test_single_size_is_conservative(self):
+        model = ServingCapacityModel.fit([4, 4, 4], [0.02, 0.02, 0.02])
+        assert model.dispatch_seconds == 0.0
+        assert model.per_request_seconds == pytest.approx(0.005)
+
+    def test_optimal_batch_respects_slo(self):
+        model = ServingCapacityModel(dispatch_seconds=0.004,
+                                     per_request_seconds=0.001)
+        assert model.optimal_batch(0.010) == 6
+        assert model.optimal_batch(0.004) == 1      # never below 1
+        assert model.optimal_batch(10.0, max_batch=16) == 16
+
+    def test_fit_from_scheduler_log(self):
+        records = [BatchRecord(i, s, tuple(), 0.002 + 0.001 * s, "full")
+                   for i, s in enumerate([1, 2, 4, 8])]
+        model = ServingCapacityModel.from_batch_log(records)
+        assert model.dispatch_seconds == pytest.approx(0.002, rel=1e-6)
+        assert model.per_request_seconds == pytest.approx(0.001, rel=1e-6)
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError, match="observation"):
+            ServingCapacityModel.fit([], [])
+
+
+class TestShapeValidation:
+    """Clear errors instead of deep numpy broadcasting failures."""
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError, match="no windows"):
+            FieldWindow.concat([])
+
+    def test_concat_mixed_mesh_raises(self, windows):
+        with pytest.raises(ValueError, match="share one mesh"):
+            FieldWindow.concat([windows[0], make_window(0, h=H - 1)])
+
+    def test_concat_mixed_depth_raises(self, windows):
+        with pytest.raises(ValueError, match="u3 mesh"):
+            FieldWindow.concat([windows[0], make_window(0, d=D - 1)])
+
+    def test_normalize_batch_mismatched_volume_raises(self, engine,
+                                                      windows):
+        """zeta meshes agree, u3 depths differ — must not die inside
+        np.stack broadcasting."""
+        deep = make_window(0)
+        shallow = make_window(1, d=D - 1)
+        shallow = FieldWindow(shallow.u3, shallow.v3, shallow.w3,
+                              deep.zeta.copy())
+        with pytest.raises(ValueError, match="share one mesh"):
+            engine.forecast_batch([deep, shallow])

@@ -1,5 +1,9 @@
 """Forecasting workflow: episode forecasts, dual-model rollout, hybrid loop."""
 
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -184,3 +188,103 @@ class TestHybridWorkflow:
         window, states = reference
         with pytest.raises(ValueError, match="fallback state"):
             workflow.run(window, states[:1])
+
+
+class ScriptedVerifier(Verifier):
+    """Verifier whose pass/fail outcomes follow a per-call script.
+
+    Residual numbers stay real; only the gate decision is overridden,
+    so mixed pass/fail scenarios are reproducible regardless of how
+    well the tiny surrogate happens to be trained.
+    """
+
+    def __init__(self, base: Verifier, script):
+        super().__init__(base.grid, base.depth, base.threshold, base.dt)
+        self._script = deque(script)
+
+    def verify_batch(self, zeta_seqs, u3_seqs, v3_seqs, threshold=None):
+        real = super().verify_batch(zeta_seqs, u3_seqs, v3_seqs, threshold)
+        flags = self._script.popleft()
+        assert len(flags) == len(real)
+        return [replace(r, passed=bool(f)) for r, f in zip(real, flags)]
+
+
+class TestHybridRunManyMixed:
+    """Regression: mixed pass/fail across concurrent scenarios must put
+    every fallback at the right (scenario, episode) slot and keep the
+    report bookkeeping consistent."""
+
+    # episode → gate decision per active scenario (2 scenarios, 4 episodes)
+    SCRIPT = [(True, False), (False, True), (True, True), (False, False)]
+
+    @pytest.fixture()
+    def mixed_outs(self, trained_forecaster, ocean, reference):
+        window, states = reference
+        verifier = ScriptedVerifier(
+            Verifier(ocean.grid, ocean.depth, dt=1800.0), self.SCRIPT)
+        workflow = HybridWorkflow(trained_forecaster, ocean, verifier)
+        return workflow.run_many([window, window], [states, states])
+
+    def test_pass_rate_and_flags(self, mixed_outs):
+        (_, rep0), (_, rep1) = mixed_outs
+        assert [e.used_fallback for e in rep0.episodes] == \
+            [False, True, False, True]
+        assert [e.used_fallback for e in rep1.episodes] == \
+            [True, False, False, True]
+        assert rep0.n_fallbacks == rep1.n_fallbacks == 2
+        assert rep0.pass_rate == rep1.pass_rate == 0.5
+        assert [e.index for e in rep0.episodes] == [0, 1, 2, 3]
+
+    def test_fallback_fields_land_at_correct_indices(self, mixed_outs,
+                                                     ocean, reference):
+        """A failed (scenario, episode) slot must hold genuine solver
+        output from THAT episode's recorded state — and a passed slot
+        must not."""
+        _, states = reference
+        T = 4
+        (f0, _), (f1, _) = mixed_outs
+        for fields, failed_eps in ((f0, (1, 3)), (f1, (0, 3))):
+            for ep in failed_eps:
+                direct = ocean.forecast(states[ep], T - 1)
+                np.testing.assert_allclose(
+                    fields.zeta[ep * T + 1], direct[0].zeta, atol=1e-10)
+        # scenario 0 passed episode 0: surrogate output, not the solver
+        direct0 = ocean.forecast(states[0], T - 1)
+        assert not np.allclose(f0.zeta[1], direct0[0].zeta, atol=1e-10)
+
+    def test_timing_consistency(self, mixed_outs):
+        for _, report in mixed_outs:
+            for ep in report.episodes:
+                assert ep.surrogate_seconds > 0
+                if ep.used_fallback:
+                    assert ep.fallback_seconds > 0
+                else:
+                    assert ep.fallback_seconds == 0.0
+            assert report.total_seconds == pytest.approx(
+                report.surrogate_seconds + report.fallback_seconds)
+            assert report.fallback_seconds > 0
+
+    def test_out_of_band_pool_gives_identical_fields(
+            self, trained_forecaster, ocean, reference):
+        """Dispatching fallbacks to a thread pool must not change any
+        output field (the solver is deterministic, chaining preserved)."""
+        window, states = reference
+
+        def run(pool):
+            verifier = ScriptedVerifier(
+                Verifier(ocean.grid, ocean.depth, dt=1800.0), self.SCRIPT)
+            workflow = HybridWorkflow(trained_forecaster, ocean, verifier,
+                                      fallback_pool=pool)
+            return workflow.run_many([window, window], [states, states])
+
+        serial = run(None)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            pooled = run(pool)
+        for (fs, rs), (fp, rp) in zip(serial, pooled):
+            np.testing.assert_array_equal(fs.zeta, fp.zeta)
+            np.testing.assert_array_equal(fs.u3, fp.u3)
+            np.testing.assert_array_equal(fs.v3, fp.v3)
+            np.testing.assert_array_equal(fs.w3, fp.w3)
+            assert [e.used_fallback for e in rs.episodes] == \
+                [e.used_fallback for e in rp.episodes]
+            assert rs.pass_rate == rp.pass_rate
