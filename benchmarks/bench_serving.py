@@ -1,26 +1,38 @@
 #!/usr/bin/env python
-"""Serving benchmark: throughput and batch occupancy vs offered load.
+"""Serving benchmark: throughput and occupancy vs offered load and
+replica count.
 
-Drives a :class:`~repro.serve.scheduler.MicroBatchScheduler` over the
-batched :class:`~repro.workflow.engine.ForecastEngine` with a paced
-synthetic request trace, sweeping the offered load from well below to
-well above one replica's capacity.  At low load the scheduler degrades
-to batch-1 forwards (occupancy ≈ 1, latency ≈ max_wait + forward); at
-saturating load requests coalesce (occupancy → max_batch) and measured
-throughput approaches the affine capacity model's ``1/b`` limit — the
-figure of merit that justifies the whole serving layer.
+Drives an :class:`~repro.serve.pool.EngineWorkerPool` (a
+:class:`~repro.serve.scheduler.MicroBatchScheduler` per replica over
+the batched :class:`~repro.workflow.engine.ForecastEngine`) with a
+paced synthetic request trace, sweeping the offered load from well
+below to well above the pool's capacity.  At low load the schedulers
+degrade to batch-1 forwards (occupancy ≈ 1, latency ≈ max_wait +
+forward); at saturating load requests coalesce (occupancy → max_batch)
+and measured throughput approaches the affine capacity model's limit.
+
+With ``--workers N`` the same sweep runs against the single-replica
+baseline first and the pool second, reporting the per-replica vs pool
+saturation throughput and the fitted
+:class:`~repro.hpc.serving.PoolCapacityModel` contention — the number
+that says how many replicas this host can actually use.  The parallel
+win comes from NumPy releasing the GIL inside its kernels, so the
+speedup gate only arms when the host has at least ``--workers`` CPU
+cores (a single-core host measures contention σ ≈ 1, which the model
+reports honestly instead of faking a win).
 
 Self-contained on purpose (no ``.bench_cache`` training): serving
 throughput does not depend on forecast skill, so an untrained tiny
 surrogate gives the same scheduling behaviour in seconds, which lets CI
 smoke this benchmark on every push::
 
-    python benchmarks/bench_serving.py --quick
+    python benchmarks/bench_serving.py --quick --workers 2
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import threading
 import time
@@ -34,8 +46,8 @@ except ModuleNotFoundError:
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.data import Normalizer
-from repro.hpc import ServingCapacityModel
-from repro.serve import MicroBatchScheduler
+from repro.hpc import PoolCapacityModel, ServingCapacityModel
+from repro.serve import EngineWorkerPool, PoolSaturated
 from repro.swin import CoastalSurrogate, SurrogateConfig
 from repro.workflow import ForecastEngine
 from repro.workflow.engine import FieldWindow
@@ -45,15 +57,22 @@ H, W, D = 15, 14, 6
 VARS = ("u3", "v3", "w3", "zeta")
 
 
-def build_engine(embed_dim: int = 8) -> ForecastEngine:
+def build_engines(n: int, embed_dim: int = 8) -> list:
+    """N ForecastEngine replicas sharing one model + normalizer.
+
+    Sharing weights keeps the replicas numerically identical (inference
+    is read-only over model state), so pool results stay comparable to
+    the single-engine baseline.
+    """
     cfg = SurrogateConfig(
         mesh=(16, 16, D), time_steps=T,
         patch3d=(4, 4, 2), patch2d=(4, 4),
         embed_dim=embed_dim, num_heads=(2, 4, 8), depths=(2, 2, 2),
         window_first=(2, 2, 2, 2), window_rest=(2, 2, 2, 2),
     )
+    model = CoastalSurrogate(cfg)
     norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
-    return ForecastEngine(CoastalSurrogate(cfg), norm)
+    return [ForecastEngine(model, norm) for _ in range(n)]
 
 
 def make_windows(n: int, seed: int = 0) -> list:
@@ -66,12 +85,18 @@ def make_windows(n: int, seed: int = 0) -> list:
     return out
 
 
-def run_trial(engine, windows, offered_qps: float, n_requests: int,
-              max_batch: int, max_wait: float, n_clients: int = 4) -> dict:
+def run_trial(engines, windows, offered_qps: float, n_requests: int,
+              max_batch: int, max_wait: float, max_queue: int,
+              n_clients: int = 4) -> dict:
     """Offer ``n_requests`` at ``offered_qps`` (∞ = as fast as possible)
-    from ``n_clients`` threads; return achieved throughput + metrics."""
-    scheduler = MicroBatchScheduler(engine, max_batch=max_batch,
-                                    max_wait=max_wait)
+    from ``n_clients`` threads; return achieved throughput + metrics.
+
+    Clients honour backpressure: a shed request backs off by the
+    advertised ``retry_after`` and retries, so every offered request is
+    eventually served and the shed count measures admission pressure.
+    """
+    pool = EngineWorkerPool(engines, max_batch=max_batch, max_wait=max_wait,
+                            max_queue=max_queue, router="least-outstanding")
     futures, lock = [], threading.Lock()
     per_client = np.array_split(np.arange(n_requests), n_clients)
     interval = n_clients / offered_qps if np.isfinite(offered_qps) else 0.0
@@ -84,7 +109,12 @@ def run_trial(engine, windows, offered_qps: float, n_requests: int,
         for k in indices:
             if interval:
                 time.sleep(interval)
-            fut = scheduler.submit(windows[k % len(windows)])
+            while True:
+                try:
+                    fut = pool.submit(windows[k % len(windows)])
+                    break
+                except PoolSaturated as exc:
+                    time.sleep(min(exc.retry_after, 0.1))
             with lock:
                 futures.append(fut)
 
@@ -95,26 +125,47 @@ def run_trial(engine, windows, offered_qps: float, n_requests: int,
         t.start()
     for t in threads:
         t.join()
-    with scheduler:
+    with pool:
         for fut in futures:
             fut.result(timeout=300)
     elapsed = time.perf_counter() - t0
 
-    m = scheduler.metrics
+    m = pool.metrics
     return {
         "offered_qps": offered_qps,
         "achieved_qps": n_requests / elapsed,
         "occupancy": m.mean_occupancy,
         "max_occ": m.max_occupancy,
         "batches": m.n_batches,
+        "shed": m.shed_requests,
         "p50_ms": 1e3 * m.latency_percentile(50),
         "p95_ms": 1e3 * m.latency_percentile(95),
-        "records": list(m.batches),
+        "records": m.batches,
     }
 
 
 def fmt_qps(q: float) -> str:
     return "max" if not np.isfinite(q) else f"{q:.0f}"
+
+
+def run_sweep(engines, windows, loads, n_requests, args, label: str):
+    print(f"\n--- {label} ---")
+    header = (f"{'offered':>8} {'achieved':>9} {'occupancy':>9} "
+              f"{'batches':>7} {'shed':>5} {'p50':>8} {'p95':>8}")
+    print(header)
+    print("-" * len(header))
+    rows, all_records = [], []
+    for qps in loads:
+        row = run_trial(engines, windows, qps, n_requests,
+                        args.max_batch, args.max_wait, args.max_queue)
+        all_records.extend(row.pop("records"))
+        rows.append(row)
+        print(f"{fmt_qps(row['offered_qps']):>8} "
+              f"{row['achieved_qps']:>8.0f}/s "
+              f"{row['occupancy']:>9.2f} {row['batches']:>7d} "
+              f"{row['shed']:>5d} "
+              f"{row['p50_ms']:>6.1f}ms {row['p95_ms']:>6.1f}ms")
+    return rows, all_records
 
 
 def main(argv=None) -> int:
@@ -123,64 +174,100 @@ def main(argv=None) -> int:
                     help="small CI smoke run with correctness asserts")
     ap.add_argument("--requests", type=int, default=96,
                     help="requests per load level")
+    ap.add_argument("--workers", type=int, default=1,
+                    help="engine replicas in the pool")
     ap.add_argument("--max-batch", type=int, default=8)
     ap.add_argument("--max-wait", type=float, default=0.02,
                     help="scheduler flush timeout [s]")
+    ap.add_argument("--max-queue", type=int, default=256,
+                    help="per-replica outstanding-request bound")
     args = ap.parse_args(argv)
+    if args.workers < 1:
+        ap.error("--workers must be >= 1")
 
     n_requests = 24 if args.quick else args.requests
-    engine = build_engine()
+    engines = build_engines(args.workers)
     windows = make_windows(16)
 
     # calibrate one replica's batch-1 capacity from end-to-end
     # wall-clock (normalise/assemble/denorm + dispatch included, not
     # just the model forward) so the sweep brackets the true knee
-    engine.forecast_batch(windows[:1])            # warm caches
+    engines[0].forecast_batch(windows[:1])        # warm caches
     t0 = time.perf_counter()
     for k in range(3):
-        engine.forecast_batch([windows[k]])
+        engines[0].forecast_batch([windows[k]])
     base_qps = 3.0 / max(time.perf_counter() - t0, 1e-9)
 
-    loads = ([0.25 * base_qps, float("inf")] if args.quick else
-             [0.25 * base_qps, 0.5 * base_qps, base_qps,
-              2 * base_qps, 4 * base_qps, float("inf")])
+    def loads_for(n_replicas: int):
+        scale = base_qps * n_replicas
+        return ([0.25 * scale, float("inf")] if args.quick else
+                [0.25 * scale, 0.5 * scale, scale,
+                 2 * scale, 4 * scale, float("inf")])
 
-    print(f"serving benchmark: max_batch={args.max_batch} "
+    print(f"serving benchmark: workers={args.workers} "
+          f"max_batch={args.max_batch} "
           f"max_wait={1e3 * args.max_wait:.0f}ms "
-          f"requests/level={n_requests} "
-          f"(calibrated batch-1 capacity ≈ {base_qps:.0f} req/s)")
-    header = (f"{'offered':>8} {'achieved':>9} {'occupancy':>9} "
-              f"{'batches':>7} {'p50':>8} {'p95':>8}")
-    print(header)
-    print("-" * len(header))
+          f"max_queue={args.max_queue} requests/level={n_requests} "
+          f"(calibrated batch-1 replica capacity ≈ {base_qps:.0f} req/s)")
 
-    rows = []
-    all_records = []
-    for qps in loads:
-        row = run_trial(engine, windows, qps, n_requests,
-                        args.max_batch, args.max_wait)
-        all_records.extend(row.pop("records"))
-        rows.append(row)
-        print(f"{fmt_qps(row['offered_qps']):>8} "
-              f"{row['achieved_qps']:>8.0f}/s "
-              f"{row['occupancy']:>9.2f} {row['batches']:>7d} "
-              f"{row['p50_ms']:>6.1f}ms {row['p95_ms']:>6.1f}ms")
+    single_rows, single_records = run_sweep(
+        engines[:1], windows, loads_for(1), n_requests, args,
+        "single replica (baseline)")
+    replica_model = ServingCapacityModel.from_batch_log(single_records)
+    print(f"replica capacity model: "
+          f"dispatch {1e3 * replica_model.dispatch_seconds:.2f}ms"
+          f" + {1e3 * replica_model.per_request_seconds:.2f}ms/request"
+          f" → saturation ≈ {replica_model.saturation_throughput:.0f} req/s,"
+          f" optimal batch @50ms SLO = {replica_model.optimal_batch(0.05)}")
 
-    model = ServingCapacityModel.from_batch_log(all_records)
-    print(f"\ncapacity model: dispatch {1e3 * model.dispatch_seconds:.2f}ms"
-          f" + {1e3 * model.per_request_seconds:.2f}ms/request"
-          f" → saturation ≈ {model.saturation_throughput:.0f} req/s,"
-          f" optimal batch @50ms SLO = {model.optimal_batch(0.05)}")
+    single_sat = single_rows[-1]["achieved_qps"]
+    pool_rows = None
+    if args.workers > 1:
+        pool_rows, _ = run_sweep(
+            engines, windows, loads_for(args.workers), n_requests, args,
+            f"pool of {args.workers} replicas")
+        pool_sat = pool_rows[-1]["achieved_qps"]
+        speedup = pool_sat / single_sat
+        pool_model = PoolCapacityModel.fit(
+            replica_model, [1, args.workers], [single_sat, pool_sat])
+        print(f"\nper-replica vs pool saturation: "
+              f"{single_sat:.0f} req/s → {pool_sat:.0f} req/s "
+              f"({speedup:.2f}× with {args.workers} replicas; "
+              f"fitted contention σ = {pool_model.contention:.2f})")
+        print(f"{'replicas':>9} {'modelled sat req/s':>19} {'speedup':>8}")
+        for n in (1, 2, 4, 8, 16):
+            print(f"{n:>9} {pool_model.saturation_throughput(n):>19.0f} "
+                  f"{pool_model.speedup(n):>7.2f}×")
 
-    saturated = rows[-1]
+    # -- verdicts -------------------------------------------------------
+    saturated = (pool_rows or single_rows)[-1]
     if saturated["occupancy"] <= 1.0:
         print("FAIL: no request coalescing at saturating load "
               f"(occupancy {saturated['occupancy']:.2f})")
         return 1
     print(f"PASS: saturating load coalesced "
-          f"{saturated['occupancy']:.2f} requests/forward "
-          f"({saturated['achieved_qps'] / rows[0]['achieved_qps']:.1f}× "
-          f"the unsaturated rate)")
+          f"{saturated['occupancy']:.2f} requests/forward")
+
+    if args.workers > 1:
+        cores = os.cpu_count() or 1
+        target = min(2.5, 0.625 * args.workers)
+        if args.quick:
+            # quick mode is the CI correctness smoke: one 24-request
+            # trial per level is far too noisy to gate a perf ratio on
+            print(f"NOTE: quick mode — speedup gate not armed "
+                  f"(measured {speedup:.2f}× on {cores} core(s))")
+        elif cores < args.workers:
+            print(f"NOTE: host has {cores} CPU core(s) for "
+                  f"{args.workers} replicas — replicas time-share cores, "
+                  f"so the ≥{target:.2f}× speedup gate is not armed "
+                  f"(measured {speedup:.2f}×)")
+        elif speedup < target:
+            print(f"FAIL: pool speedup {speedup:.2f}× < {target:.2f}× "
+                  f"with {args.workers} replicas on {cores} cores")
+            return 1
+        else:
+            print(f"PASS: pool speedup {speedup:.2f}× ≥ {target:.2f}× "
+                  f"with {args.workers} replicas")
     return 0
 
 

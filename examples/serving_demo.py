@@ -1,18 +1,20 @@
-"""Serving demo: micro-batched forecasts for many concurrent users.
+"""Serving demo: micro-batched, sharded forecasts for concurrent users.
 
-Stands up a :class:`~repro.serve.server.ForecastServer` over a tiny
-surrogate and replays a synthetic request trace with three user
+Stands up a :class:`~repro.serve.server.ForecastServer` over a pool of
+two engine replicas (key-affinity sharding, so duplicate scenarios meet
+on one replica) and replays a synthetic request trace with three user
 behaviours mixed together:
 
 * a *bursty crowd* asking for the handful of currently-trending
   scenarios (deduplicated by the keyed result cache),
-* a steady stream of *unique* scenario requests (coalesced by the
-  micro-batching scheduler into shared forwards),
-* one *ensemble* user whose members shard across the batch axis.
+* a steady stream of *unique* scenario requests (coalesced by each
+  replica's micro-batching scheduler into shared forwards),
+* one *ensemble* user whose members shard across the pool's batch
+  slots.
 
-Prints the per-request latency, batch-occupancy, and cache metrics the
-server exports, plus the fitted capacity model — the same numbers
-``benchmarks/bench_serving.py`` sweeps systematically.
+Prints the per-request latency, batch-occupancy, sharding, and cache
+metrics the server exports, plus the fitted capacity model — the same
+numbers ``benchmarks/bench_serving.py`` sweeps systematically.
 """
 
 import threading
@@ -52,9 +54,11 @@ def main():
     rng = np.random.default_rng(0)
     trending = [make_window(rng) for _ in range(3)]   # the hot scenarios
     print("serving 40 requests from 3 user behaviours "
-          "(max_batch=8, max_wait=15ms, 16 MiB result cache)…")
+          "(2 replicas, key-affinity sharding, max_batch=8, "
+          "max_wait=15ms, 16 MiB result cache)…")
 
-    with ForecastServer(engine, max_batch=8, max_wait=0.015,
+    with ForecastServer(engine, workers=2, router="key-affinity",
+                        max_batch=8, max_wait=0.015,
                         cache_bytes=16 << 20) as server:
         futures, lock = [], threading.Lock()
 
@@ -107,8 +111,13 @@ def main():
           f"replay wave {hits}/10 hits)")
     print(f"  in-flight dedups       : {metrics['deduped_requests']:.0f} "
           f"duplicate requests rode a leader's forward")
+    by_worker = server.pool.metrics.requests_by_worker()
+    print(f"  sharding               : "
+          + ", ".join(f"replica {w} served {n}"
+                      for w, n in sorted(by_worker.items()))
+          + f"; {metrics['shed_requests']:.0f} shed")
 
-    batches = server.scheduler.metrics.batches
+    batches = server.pool.metrics.batches
     if len({b.size for b in batches}) > 1:
         model = ServingCapacityModel.from_batch_log(batches)
         print(f"  capacity model         : "

@@ -36,7 +36,7 @@ from .roms_perf import (
     best_process_grid,
 )
 from .scaling import PAPER_GPU_COUNTS, ScalingModel, ring_allreduce_seconds
-from .serving import ServingCapacityModel
+from .serving import PoolCapacityModel, ServingCapacityModel
 from .trace import PipelineTrace, StageEvent
 
 __all__ = [
@@ -67,6 +67,7 @@ __all__ = [
     "ring_allreduce_seconds",
     "PAPER_GPU_COUNTS",
     "ServingCapacityModel",
+    "PoolCapacityModel",
     "PipelineTrace",
     "StageEvent",
 ]

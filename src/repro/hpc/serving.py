@@ -10,16 +10,23 @@ a scheduler's :class:`~repro.serve.scheduler.BatchRecord` log yields
 the capacity numbers an operator actually plans with: the saturation
 QPS of one engine replica and the smallest ``max_batch`` that reaches a
 target fraction of it within a latency budget.
+
+A replica pool (:class:`~repro.serve.pool.EngineWorkerPool`) adds the
+second axis: :class:`PoolCapacityModel` extends the per-replica law to
+pool-level saturation throughput vs replica count through a serial
+contention fraction (Amdahl form), fitted from observed
+(worker count, achieved QPS) sweeps such as the ones
+``benchmarks/bench_serving.py --workers N`` produces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["ServingCapacityModel"]
+__all__ = ["ServingCapacityModel", "PoolCapacityModel"]
 
 
 @dataclass(frozen=True)
@@ -97,3 +104,117 @@ class ServingCapacityModel:
         budget = latency_slo_seconds - self.dispatch_seconds
         best = int(budget / self.per_request_seconds)
         return max(1, min(best, int(max_batch)))
+
+
+@dataclass(frozen=True)
+class PoolCapacityModel:
+    """Pool saturation throughput vs replica count (Amdahl form).
+
+    With ``X₁`` one replica's saturated QPS, a pool of ``n`` replicas
+    delivers
+
+        ``X(n) = n · X₁ / (1 + σ · (n − 1))``
+
+    where ``σ ∈ [0, 1]`` is the *serial contention fraction* — the
+    share of per-request work the replicas cannot actually overlap
+    (routing/admission under the pool lock, the Python interpreter's
+    GIL between NumPy kernels, memory-bandwidth saturation).  ``σ = 0``
+    is perfect sharding (linear in ``n``); ``σ = 1`` means replicas buy
+    nothing (a single-core host).  The asymptote is ``X₁/σ``.
+
+    ``X₁`` must be the throughput one replica *actually achieves*
+    under the deployed flush policy — ``B/(a + b·B)`` at the real
+    occupancy, not the occupancy→∞ limit ``1/b`` — otherwise the
+    finite-batch shortfall masquerades as contention.  :meth:`fit`
+    therefore prefers a measured single-replica observation as the
+    baseline and only falls back to the affine law's asymptote.
+
+    Attributes
+    ----------
+    replica: the fitted per-replica affine law (kept for reference
+        and as the ``X₁`` fallback).
+    contention: the serial fraction ``σ``.
+    single_replica_qps: measured ``X₁`` baseline; ``None`` falls back
+        to ``replica.saturation_throughput``.
+    """
+
+    replica: ServingCapacityModel
+    contention: float = 0.0
+    single_replica_qps: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.contention <= 1.0:
+            raise ValueError("contention must be in [0, 1]")
+        if self.single_replica_qps is not None \
+                and self.single_replica_qps <= 0:
+            raise ValueError("single_replica_qps must be positive")
+
+    @property
+    def baseline_throughput(self) -> float:
+        """``X₁``: the single-replica saturated QPS the model scales."""
+        if self.single_replica_qps is not None:
+            return self.single_replica_qps
+        return self.replica.saturation_throughput
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def fit(replica: ServingCapacityModel, worker_counts: Sequence[int],
+            achieved_qps: Sequence[float]) -> "PoolCapacityModel":
+        """Fit ``σ`` from observed (worker count, saturated QPS) pairs.
+
+        The ``X₁`` baseline is the mean of the single-replica
+        observations when any are present (the consistent,
+        same-flush-policy baseline), else the affine law's asymptote.
+        Each multi-replica observation then gives a direct estimate
+        ``σ = (n·X₁/X − 1)/(n − 1)``; the fit averages them, clipped
+        into [0, 1] (measurement noise can push a lone estimate
+        slightly outside).  With no multi-replica observation the fit
+        is conservative (``σ = 1``: promise no pool win that was never
+        measured).
+        """
+        ns = np.asarray(worker_counts, dtype=np.float64)
+        xs = np.asarray(achieved_qps, dtype=np.float64)
+        if ns.size == 0 or ns.size != xs.size:
+            raise ValueError("need equal, non-zero observation counts")
+        base = (ns == 1) & (xs > 0)
+        measured_x1 = float(np.mean(xs[base])) if base.any() else None
+        x1 = measured_x1 if measured_x1 is not None \
+            else replica.saturation_throughput
+        mask = (ns > 1) & (xs > 0)
+        if not mask.any():
+            return PoolCapacityModel(replica, 1.0, measured_x1)
+        sigma = (ns[mask] * x1 / xs[mask] - 1.0) / (ns[mask] - 1.0)
+        return PoolCapacityModel(
+            replica, float(np.clip(np.mean(sigma), 0.0, 1.0)), measured_x1)
+
+    # -- predictions ----------------------------------------------------
+    def saturation_throughput(self, workers: int) -> float:
+        """Modelled saturated QPS of a pool of ``workers`` replicas."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        x1 = self.baseline_throughput
+        return workers * x1 / (1.0 + self.contention * (workers - 1))
+
+    def speedup(self, workers: int) -> float:
+        """Pool-over-single-replica saturation throughput ratio."""
+        return self.saturation_throughput(workers) \
+            / self.saturation_throughput(1)
+
+    @property
+    def asymptotic_throughput(self) -> float:
+        """``workers → ∞`` limit: ``X₁/σ`` (infinite when ``σ = 0``)."""
+        x1 = self.baseline_throughput
+        return float("inf") if self.contention == 0 else x1 / self.contention
+
+    def optimal_workers(self, target_qps: float,
+                        max_workers: int = 256) -> Optional[int]:
+        """Smallest replica count whose modelled saturation throughput
+        reaches ``target_qps``, or ``None`` if no pool of up to
+        ``max_workers`` can (the target exceeds the contention
+        asymptote or the cap)."""
+        if target_qps <= 0:
+            raise ValueError("target throughput must be positive")
+        for n in range(1, int(max_workers) + 1):
+            if self.saturation_throughput(n) >= target_qps:
+                return n
+        return None

@@ -1,4 +1,4 @@
-"""Serving subsystem: micro-batching, result caching, front door.
+"""Serving subsystem: micro-batching, caching, sharding, front door.
 
 Turns independent incoming forecast requests into the batched
 forwards of :class:`~repro.workflow.engine.ForecastEngine` — the layer
@@ -8,11 +8,27 @@ that converts per-call speed into system throughput:
   under a ``max_batch``/``max_wait`` policy, with occupancy/latency
   metrics;
 - :mod:`repro.serve.cache` — keyed LRU cache of completed forecasts;
+- :mod:`repro.serve.pool` — N engine replicas behind pluggable routing
+  (round-robin, least-outstanding, key-affinity sharding) with bounded
+  queues and explicit shed-with-retry-after backpressure;
 - :mod:`repro.serve.server` — routes plain, ensemble, and hybrid
-  requests through one shared engine.
+  requests through the replica pool (a single-engine deployment is the
+  pool of 1).
+
+See ``docs/architecture.md`` for how the pieces compose and
+``docs/serving.md`` for the tuning guide.
 """
 
 from .cache import ForecastCache, ForecastCacheStats, window_key
+from .pool import (
+    EngineWorkerPool,
+    KeyAffinityRouter,
+    LeastOutstandingRouter,
+    PoolMetrics,
+    PoolSaturated,
+    RoundRobinRouter,
+    Router,
+)
 from .scheduler import (
     BatchRecord,
     MicroBatchScheduler,
@@ -31,5 +47,12 @@ __all__ = [
     "ForecastCache",
     "ForecastCacheStats",
     "window_key",
+    "EngineWorkerPool",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingRouter",
+    "KeyAffinityRouter",
+    "PoolMetrics",
+    "PoolSaturated",
     "ForecastServer",
 ]

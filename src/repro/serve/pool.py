@@ -1,0 +1,575 @@
+"""Sharded serving: a pool of engine replicas behind one front door.
+
+One :class:`~repro.serve.scheduler.MicroBatchScheduler` converts
+per-call speed into per-replica throughput; this module converts
+per-replica throughput into *pool* throughput.  An
+:class:`EngineWorkerPool` runs N engine replicas, each behind its own
+scheduler, and three things decide what happens to an incoming request:
+
+* a **router** (:class:`Router` policy — :class:`RoundRobinRouter`,
+  :class:`LeastOutstandingRouter`, or :class:`KeyAffinityRouter`)
+  picks which replica should serve it;
+* **admission control** bounds each replica's outstanding work at
+  ``max_queue``; a request that no admissible replica can take is shed
+  with an explicit :class:`PoolSaturated` carrying a ``retry_after``
+  estimated from the fitted affine batch-cost law
+  (:class:`~repro.hpc.serving.ServingCapacityModel`) — clients back off
+  instead of queueing unboundedly;
+* **metrics aggregation** (:class:`PoolMetrics`) folds the per-worker
+  :class:`~repro.serve.scheduler.ServeMetrics` into pool-level
+  occupancy/latency/shed counters.
+
+Routing never changes the numbers: a request's result is
+bitwise-identical to calling ``engine.forecast_batch`` directly on the
+micro-batch it landed in, whatever policy placed it there
+(``tests/test_serve_pool.py`` asserts this for every policy).
+
+The pool *is* a batch executor (``forecast_batch`` / ``time_steps``),
+so everything that accepts an engine or a scheduler —
+:class:`~repro.workflow.ensemble.EnsembleForecaster`,
+:class:`~repro.workflow.hybrid.HybridWorkflow`,
+:class:`~repro.serve.server.ForecastServer` — accepts a pool
+unchanged, and the single-engine deployment is simply the pool of 1.
+
+Replicas may be distinct engines or N views of one engine: inference
+is read-only over model weights and the autograd switch is
+thread-local, so sharing one :class:`~repro.workflow.engine.ForecastEngine`
+across workers is safe (on multi-core hosts NumPy releases the GIL in
+its kernels, which is where the parallel speedup comes from).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..hpc.serving import ServingCapacityModel
+from ..workflow.engine import FieldWindow, ForecastResult
+from .scheduler import MicroBatchScheduler, ServedFuture, ServeMetrics
+
+__all__ = [
+    "PoolSaturated",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingRouter",
+    "KeyAffinityRouter",
+    "PoolMetrics",
+    "EngineWorkerPool",
+]
+
+
+class PoolSaturated(RuntimeError):
+    """Admission control rejected a request: every admissible replica
+    is at its ``max_queue`` bound.
+
+    Attributes
+    ----------
+    retry_after: suggested client back-off [s] — the modelled time for
+        the least-loaded admissible replica to drain one queue slot,
+        from the pool's fitted batch-cost law (falls back to the
+        scheduler ``max_wait`` before any batch has been observed).
+    """
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+def stable_key_hash(key) -> int:
+    """Deterministic 64-bit hash of a routing key.
+
+    ``hash(str)`` is randomised per process; sharding must instead be
+    stable across runs (and documented), so affinity routing hashes the
+    key's string form with BLAKE2b.
+    """
+    digest = hashlib.blake2b(str(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class Router:
+    """Pluggable policy mapping one request to a preference-ordered
+    list of replicas.
+
+    Subclasses implement :meth:`candidates`; the pool admits the
+    request to the first candidate with queue room and sheds it when
+    none has any.  Returning *fewer* than all workers is how a policy
+    expresses a hard placement constraint (key affinity returns exactly
+    one), at the price of shedding while better-placed replicas idle.
+
+    Policies are instantiated per pool and called under the pool's
+    routing lock, so they may keep unguarded mutable state (e.g. the
+    round-robin cursor) but must not block.
+    """
+
+    #: registry name, also echoed in ``PoolMetrics.summary()``
+    name = "base"
+
+    #: whether the policy reads the routing key — lets callers skip
+    #: computing one (content digests are not free) when it is ignored
+    uses_keys = False
+
+    _REGISTRY: Dict[str, type] = {}
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # only classes that declare their own name register: a subclass
+        # tweaking behaviour must not silently replace its parent's
+        # registry entry, and an accidental name collision is an error
+        name = cls.__dict__.get("name")
+        if name is None:
+            return
+        if name in Router._REGISTRY:
+            raise ValueError(
+                f"router name {name!r} is already registered to "
+                f"{Router._REGISTRY[name].__qualname__}")
+        Router._REGISTRY[name] = cls
+
+    @staticmethod
+    def make(spec: Union[str, "Router"]) -> "Router":
+        """Resolve a policy: an instance passes through, a name
+        (``"round-robin"`` | ``"least-outstanding"`` | ``"key-affinity"``)
+        constructs the registered class."""
+        if isinstance(spec, Router):
+            return spec
+        try:
+            return Router._REGISTRY[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown router {spec!r}; registered: "
+                f"{sorted(Router._REGISTRY)}") from None
+
+    def candidates(self, key, n_workers: int,
+                   outstanding: Sequence[int]) -> Sequence[int]:
+        """Replica indices to try, in preference order.
+
+        Parameters
+        ----------
+        key: the request's routing key (may be ``None``).
+        n_workers: pool width.
+        outstanding: per-replica outstanding request counts, a
+            consistent snapshot taken under the routing lock.
+        """
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the replicas regardless of load or key.
+
+    The classic fair policy: every replica sees the same request rate.
+    When the preferred replica is full the rotation continues, so
+    round-robin only sheds when the whole pool is at bound.
+    """
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def candidates(self, key, n_workers, outstanding):
+        start = self._cursor % n_workers
+        self._cursor += 1
+        return [(start + i) % n_workers for i in range(n_workers)]
+
+
+class LeastOutstandingRouter(Router):
+    """Send each request to the replica with the fewest outstanding
+    requests (ties break toward the lowest index).
+
+    Adapts to heterogeneous request costs and stragglers — a replica
+    stuck on a slow batch naturally stops receiving traffic.  Like
+    round-robin it sheds only when the whole pool is at bound.
+    """
+
+    name = "least-outstanding"
+
+    def candidates(self, key, n_workers, outstanding):
+        return sorted(range(n_workers), key=lambda i: (outstanding[i], i))
+
+
+class KeyAffinityRouter(Router):
+    """Shard by key: requests with equal keys always land on the same
+    replica (``stable_key_hash(key) % n_workers``).
+
+    This is the policy that keeps per-replica state effective under
+    sharding — duplicate scenarios meet in one replica's queue, so
+    result caches and in-flight dedup keyed on the request content
+    (:func:`~repro.serve.cache.window_key`) keep their hit rates.
+    Affinity is *strict*: a request whose home replica is full is shed
+    even if other replicas are idle, because spilling would silently
+    break the co-location guarantee.  Keyless requests fall back to
+    round-robin.
+    """
+
+    name = "key-affinity"
+    uses_keys = True
+
+    def __init__(self):
+        self._fallback = RoundRobinRouter()
+
+    def candidates(self, key, n_workers, outstanding):
+        if key is None:
+            return self._fallback.candidates(key, n_workers, outstanding)
+        return [stable_key_hash(key) % n_workers]
+
+
+@dataclass
+class _Worker:
+    """One replica: its scheduler plus the pool's admission counters."""
+
+    worker_id: int
+    scheduler: MicroBatchScheduler
+    outstanding: int = 0         # admitted, not yet completed
+    submitted: int = 0           # admitted ever
+    shed: int = 0                # rejected with this worker as first choice
+
+
+class PoolMetrics:
+    """Pool-level view over the per-worker :class:`ServeMetrics`.
+
+    A live aggregation (not a snapshot): occupancy and counters are
+    recomputed from the workers' metric logs on every access, so the
+    same object stays valid for the pool's whole lifetime.  Pool
+    occupancy is total requests over total engine forwards — the
+    figure of merit batching must hold on to as the pool widens, since
+    sharding thins each replica's queue.
+    """
+
+    def __init__(self, workers: Sequence[_Worker], pool: "EngineWorkerPool"):
+        self._workers = list(workers)
+        self._pool = pool
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def per_worker(self) -> List[ServeMetrics]:
+        """The underlying per-replica metric logs, by worker id."""
+        return [w.scheduler.metrics for w in self._workers]
+
+    @property
+    def batches(self) -> List:
+        """All replicas' :class:`~repro.serve.scheduler.BatchRecord`
+        logs flattened — the input to capacity-model fits."""
+        return [b for m in self.per_worker for b in m.batches]
+
+    @property
+    def shed_requests(self) -> int:
+        return self._pool.shed_requests
+
+    @property
+    def outstanding(self) -> int:
+        return sum(w.outstanding for w in self._workers)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(m.n_requests for m in self.per_worker)
+
+    @property
+    def n_batches(self) -> int:
+        return sum(m.n_batches for m in self.per_worker)
+
+    @property
+    def n_failed_batches(self) -> int:
+        return sum(m.n_failed_batches for m in self.per_worker)
+
+    @property
+    def mean_occupancy(self) -> float:
+        if not self.n_batches:
+            return float("nan")
+        return self.n_requests / self.n_batches
+
+    @property
+    def max_occupancy(self) -> int:
+        return max((m.max_occupancy for m in self.per_worker), default=0)
+
+    @property
+    def engine_seconds(self) -> float:
+        return sum(b.seconds for m in self.per_worker for b in m.batches)
+
+    def _pooled_latencies(self) -> List[float]:
+        return [r.latency_seconds for m in self.per_worker
+                for r in m.requests]
+
+    def latency_percentile(self, q: float) -> float:
+        lat = self._pooled_latencies()
+        return float(np.percentile(lat, q)) if lat else float("nan")
+
+    def queue_percentile(self, q: float) -> float:
+        qs = [r.queue_seconds for m in self.per_worker for r in m.requests]
+        return float(np.percentile(qs, q)) if qs else float("nan")
+
+    def requests_by_worker(self) -> Dict[int, int]:
+        """Completed-request count per worker id — the sharding skew."""
+        return {w.worker_id: w.scheduler.metrics.n_requests
+                for w in self._workers}
+
+    def shed_by_worker(self) -> Dict[int, int]:
+        """Sheds attributed to each first-choice worker — under key
+        affinity this is where hot-key skew shows up."""
+        return {w.worker_id: w.shed for w in self._workers}
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for logging/export; a superset of the keys of
+        :meth:`ServeMetrics.summary` plus pool-only counters."""
+        return {
+            "workers": self.n_workers,
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "failed_batches": self.n_failed_batches,
+            "shed_requests": self.shed_requests,
+            "outstanding": self.outstanding,
+            "mean_occupancy": self.mean_occupancy,
+            "max_occupancy": self.max_occupancy,
+            "latency_p50_ms": 1e3 * self.latency_percentile(50),
+            "latency_p95_ms": 1e3 * self.latency_percentile(95),
+            "queue_p50_ms": 1e3 * self.queue_percentile(50),
+            "engine_seconds": self.engine_seconds,
+        }
+
+
+class EngineWorkerPool:
+    """N engine replicas, each behind its own micro-batching scheduler.
+
+    Parameters
+    ----------
+    engines: one batch executor (``forecast_batch`` + ``time_steps``)
+        or a sequence of them, one per replica.  A single engine with
+        ``replicas=N`` is shared by all N workers — safe, because
+        inference never writes model state (see the module docstring).
+        All replicas must agree on ``time_steps``.
+    replicas: pool width when ``engines`` is a single executor; must
+        match ``len(engines)`` when a sequence is given.
+    max_batch, max_wait: per-replica scheduler flush policy
+        (:class:`~repro.serve.scheduler.MicroBatchScheduler`).
+    max_queue: per-replica bound on *outstanding* requests (admitted
+        but not completed).  The pool's total backlog can never exceed
+        ``replicas × max_queue``; beyond it requests shed with
+        :class:`PoolSaturated`.
+    router: a :class:`Router` instance or registered policy name.
+    autostart: start each replica's worker thread (threaded mode).
+        ``False`` gives the deterministic manual mode — the caller
+        drives the queues with :meth:`flush` (or per-worker
+        ``pool.workers[i].scheduler.step()``).
+
+    Thread safety: :meth:`submit` and :meth:`forecast_batch` may be
+    called from any number of client threads; routing state is guarded
+    by one pool-level lock held only for the (cheap, non-blocking)
+    placement decision.
+    """
+
+    def __init__(self, engines, replicas: Optional[int] = None,
+                 max_batch: int = 8, max_wait: float = 0.005,
+                 max_queue: int = 32,
+                 router: Union[str, Router] = "least-outstanding",
+                 autostart: bool = True):
+        if hasattr(engines, "forecast_batch"):
+            engines = [engines]
+        engines = list(engines)
+        if not engines:
+            raise ValueError("need at least one engine")
+        if replicas is not None:
+            replicas = int(replicas)
+            if replicas < 1:
+                raise ValueError("replicas must be >= 1")
+            if len(engines) == 1 and replicas > 1:
+                engines = engines * replicas
+            elif len(engines) != replicas:
+                raise ValueError(
+                    f"got {len(engines)} engines but replicas={replicas}")
+        steps = {e.time_steps for e in engines}
+        if len(steps) != 1:
+            raise ValueError(
+                f"all replicas must share one episode length; got {steps}")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = int(max_queue)
+        self.router = Router.make(router)
+        self.shed_requests = 0
+        self._retry_fit: Optional[Tuple[int, ServingCapacityModel]] = None
+        self._route_lock = threading.Lock()
+        self._manual = not autostart
+        self._closed = False
+        self.workers: Tuple[_Worker, ...] = tuple(
+            _Worker(i, MicroBatchScheduler(engine, max_batch=max_batch,
+                                           max_wait=max_wait,
+                                           autostart=autostart))
+            for i, engine in enumerate(engines))
+        self.metrics = PoolMetrics(self.workers, self)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    # -- batch-executor protocol ---------------------------------------
+    @property
+    def time_steps(self) -> int:
+        return self.workers[0].scheduler.time_steps
+
+    def forecast_batch(self, references: Sequence[FieldWindow]
+                       ) -> List[ForecastResult]:
+        """Submit N windows and wait for all results (executor protocol).
+
+        Unlike :meth:`submit` this never sheds: a window rejected by
+        admission control is retried after the advertised
+        ``retry_after`` (after an inline :meth:`flush` in manual mode),
+        because batch consumers — an ensemble mid-forecast, a hybrid
+        episode — cannot meaningfully drop individual members.  Must
+        not be called from a scheduler worker thread.
+        """
+        futures: List[ServedFuture] = []
+        for reference in references:
+            while True:
+                try:
+                    futures.append(self.submit(reference))
+                    break
+                except PoolSaturated as exc:
+                    if self._manual:
+                        self.flush()
+                    else:
+                        time.sleep(min(exc.retry_after, 0.1))
+        if self._manual:
+            self.flush()
+        return [f.result() for f in futures]
+
+    def forecast(self, reference: FieldWindow,
+                 key=None) -> ForecastResult:
+        """Synchronous single-request convenience wrapper."""
+        future = self.submit(reference, key=key)
+        if self._manual:
+            self.flush()
+        return future.result()
+
+    # -- client side ----------------------------------------------------
+    def submit(self, reference: FieldWindow, key=None) -> ServedFuture:
+        """Route one request to a replica; returns immediately.
+
+        Parameters
+        ----------
+        reference: the request window (validated by the replica's
+            scheduler: episode length, shared mesh).
+        key: optional routing key.  Under :class:`KeyAffinityRouter`
+            equal keys are guaranteed to land on one replica; other
+            policies ignore it.
+
+        Raises
+        ------
+        PoolSaturated
+            when every replica the policy allows is at ``max_queue``;
+            the exception's ``retry_after`` is the suggested back-off.
+        The returned future's ``worker_id`` records the placement.
+        """
+        with self._route_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            outstanding = [w.outstanding for w in self.workers]
+            order = list(self.router.candidates(key, self.n_workers,
+                                                outstanding))
+            chosen = next((i for i in order
+                           if outstanding[i] < self.max_queue), None)
+            if chosen is None:
+                self.shed_requests += 1
+                if order:
+                    self.workers[order[0]].shed += 1
+                retry = self._retry_after_locked(
+                    min((outstanding[i] for i in order),
+                        default=self.max_queue))
+                raise PoolSaturated(
+                    f"pool saturated: {len(order)} admissible replica(s) "
+                    f"all at max_queue={self.max_queue}; retry in "
+                    f"{retry:.3f}s", retry)
+            worker = self.workers[chosen]
+            worker.outstanding += 1
+            worker.submitted += 1
+        try:
+            future = worker.scheduler.submit(reference)
+        except BaseException:
+            with self._route_lock:
+                worker.outstanding -= 1
+                worker.submitted -= 1
+            raise
+        future.worker_id = worker.worker_id
+        future.add_done_callback(
+            lambda fut, w=worker: self._request_done(w))
+        return future
+
+    def _request_done(self, worker: _Worker) -> None:
+        with self._route_lock:
+            worker.outstanding -= 1
+
+    #: per-replica window of recent batch records the retry-after fit
+    #: looks at — bounds the work done per shed on a long-lived pool
+    RETRY_FIT_WINDOW = 128
+
+    def _retry_after_locked(self, queue_depth: int) -> float:
+        """Back-off estimate: modelled time for the least-loaded
+        admissible replica to free one queue slot — the wall-clock of
+        its next micro-batch, which serves at most ``max_batch`` of the
+        queued requests.
+
+        Runs under the routing lock on every shed, so it must stay
+        cheap: the affine fit is over a bounded window of each
+        replica's most recent batches (the current serving regime,
+        which is also the statistically right window) and is cached
+        until new batches land.
+        """
+        n_batches = sum(len(w.scheduler.metrics.batches)
+                        for w in self.workers)
+        if n_batches == 0:
+            # nothing observed yet — one flush-policy quantum
+            return max(self.workers[0].scheduler.max_wait, 1e-3)
+        if self._retry_fit is None or self._retry_fit[0] != n_batches:
+            records = [
+                b for w in self.workers
+                for b in w.scheduler.metrics.batches[-self.RETRY_FIT_WINDOW:]
+                if not b.failed]
+            if not records:
+                return max(self.workers[0].scheduler.max_wait, 1e-3)
+            self._retry_fit = (n_batches,
+                               ServingCapacityModel.from_batch_log(records))
+        model = self._retry_fit[1]
+        next_batch = min(max(queue_depth, 1),
+                         self.workers[0].scheduler.max_batch)
+        return model.dispatch_seconds \
+            + model.per_request_seconds * next_batch
+
+    # -- capacity -------------------------------------------------------
+    def capacity_model(self) -> ServingCapacityModel:
+        """Fit the per-replica affine batch-cost law from the pool's
+        aggregated batch log (see
+        :meth:`ServingCapacityModel.from_batch_log`)."""
+        return ServingCapacityModel.from_batch_log(self.metrics.batches)
+
+    # -- manual drive ---------------------------------------------------
+    def flush(self) -> int:
+        """Drain every replica's queue now; returns requests served.
+
+        Manual-mode scheduling quantum at pool granularity; loops until
+        a full sweep over the replicas serves nothing, so requests
+        enqueued by completion callbacks are drained too.
+        """
+        total = 0
+        while True:
+            n = sum(w.scheduler.flush() for w in self.workers)
+            if n == 0:
+                return total
+            total += n
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Stop admission, serve every replica's backlog, join workers."""
+        with self._route_lock:
+            self._closed = True
+        for w in self.workers:
+            w.scheduler.close()
+
+    def __enter__(self) -> "EngineWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -56,11 +56,15 @@ class ServedFuture:
     has run, then returns its :class:`ForecastResult` (or re-raises the
     engine's exception).  After completion the placement metadata
     (``batch_index``, ``batch_size``, ``queue_seconds``,
-    ``latency_seconds``) records where the request landed.
+    ``latency_seconds``) records where the request landed;
+    ``worker_id`` additionally records which replica served it when the
+    request went through an
+    :class:`~repro.serve.pool.EngineWorkerPool`.
     """
 
     def __init__(self, request_id: int):
         self.request_id = request_id
+        self.worker_id: Optional[int] = None
         self.batch_index: Optional[int] = None
         self.batch_size: Optional[int] = None
         self.queue_seconds: Optional[float] = None

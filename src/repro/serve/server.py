@@ -1,27 +1,35 @@
-"""Serving front door: one shared engine behind three request kinds.
+"""Serving front door: a replica pool behind three request kinds.
 
 :class:`ForecastServer` routes
 
 * **plain forecasts** — deduplicated through the keyed result cache,
-  then coalesced by the micro-batching scheduler;
+  then routed to an engine replica by the pool's policy and coalesced
+  by that replica's micro-batching scheduler;
 * **ensemble requests** — the N perturbed members are sharded across
-  the scheduler's batch axis (they interleave with unrelated traffic
+  the pool's batch slots (they interleave with unrelated traffic
   instead of monopolising a forward);
 * **hybrid runs** — executed by the verifier-gated
-  :class:`~repro.workflow.hybrid.HybridWorkflow` with the scheduler
+  :class:`~repro.workflow.hybrid.HybridWorkflow` with the pool
   injected as its engine, so surrogate passes coalesce while solver
   fallbacks are dispatched out-of-band on a worker pool and never
   block the batch loop.
 
-All three reuse the exact direct-call code paths — the scheduler is
-just another batch executor — so served numbers equal direct numbers.
+All three reuse the exact direct-call code paths — the pool is just
+another batch executor — so served numbers equal direct numbers.  The
+single-engine deployment is not a separate code path either: it is the
+pool of 1 (``workers=1``, the default).
+
+When the pool is saturated (every admissible replica at its queue
+bound), :meth:`submit` propagates the pool's
+:class:`~repro.serve.pool.PoolSaturated` so the client can back off by
+its ``retry_after`` — the server never queues unboundedly.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..ocean.model import RomsLikeModel
 from ..ocean.swe import ShallowWaterState
@@ -30,33 +38,56 @@ from ..workflow.engine import FieldWindow, ForecastResult
 from ..workflow.ensemble import EnsembleForecast, EnsembleForecaster
 from ..workflow.hybrid import HybridWorkflow, WorkflowReport
 from .cache import ForecastCache, window_key
+from .pool import EngineWorkerPool, Router
 from .scheduler import MicroBatchScheduler, ServedFuture
 
 __all__ = ["ForecastServer"]
 
 
 class ForecastServer:
-    """Shared-engine serving endpoint with micro-batching and caching.
+    """Pooled serving endpoint with micro-batching and caching.
 
     Parameters
     ----------
-    engine: batch executor (``forecast_batch`` + ``time_steps``).
-    max_batch, max_wait: scheduler flush policy
+    engine: one batch executor (``forecast_batch`` + ``time_steps``)
+        or a sequence of replicas (see
+        :class:`~repro.serve.pool.EngineWorkerPool`; a single engine is
+        shared by all ``workers`` replicas).
+    workers: replica-pool width.  The default (``None``) runs one
+        replica per given engine — a single engine reproduces the
+        single-engine deployment exactly; a single engine with
+        ``workers=N`` is shared by all N replicas.
+    router: pool routing policy — a :class:`~repro.serve.pool.Router`
+        or a name (``"round-robin"`` | ``"least-outstanding"`` |
+        ``"key-affinity"``).  With the result cache enabled the server
+        keys every request by its content digest, so
+        ``"key-affinity"`` keeps duplicate scenarios on one replica.
+    max_batch, max_wait: per-replica scheduler flush policy
         (:class:`MicroBatchScheduler`).
+    max_queue: per-replica outstanding-request bound; beyond it
+        :meth:`submit` raises
+        :class:`~repro.serve.pool.PoolSaturated`.
     cache_bytes: result-cache budget; 0 disables caching.
     ocean, verifier: hybrid-run dependencies; required only when
         :meth:`submit_hybrid` is used.
     fallback_workers: thread-pool width for out-of-band work (hybrid
         runs and their solver fallbacks).
+
+    Thread safety: every public method may be called concurrently from
+    any number of client threads.
     """
 
     def __init__(self, engine, max_batch: int = 8, max_wait: float = 0.005,
                  cache_bytes: int = 0,
                  ocean: Optional[RomsLikeModel] = None,
                  verifier: Optional[Verifier] = None,
-                 fallback_workers: int = 2):
-        self.scheduler = MicroBatchScheduler(engine, max_batch=max_batch,
-                                             max_wait=max_wait)
+                 fallback_workers: int = 2,
+                 workers: Optional[int] = None,
+                 router: Union[str, Router] = "least-outstanding",
+                 max_queue: int = 32):
+        self.pool = EngineWorkerPool(engine, replicas=workers,
+                                     max_batch=max_batch, max_wait=max_wait,
+                                     max_queue=max_queue, router=router)
         self.cache = ForecastCache(cache_bytes) if cache_bytes > 0 else None
         self.ocean = ocean
         self.verifier = verifier
@@ -76,11 +107,26 @@ class ForecastServer:
         self._inflight_lock = threading.Lock()
         self.deduped_requests = 0
 
+    @property
+    def scheduler(self) -> MicroBatchScheduler:
+        """Replica 0's scheduler — *the* scheduler of a ``workers=1``
+        deployment (kept for single-engine introspection; pool-wide
+        numbers live in :meth:`metrics`)."""
+        return self.pool.workers[0].scheduler
+
     # -- plain forecasts ------------------------------------------------
     def submit(self, reference: FieldWindow) -> ServedFuture:
-        """Queue one forecast; cache hits complete immediately."""
+        """Queue one forecast; cache hits complete immediately.
+
+        Raises :class:`~repro.serve.pool.PoolSaturated` (with a
+        ``retry_after`` hint) when admission control sheds the request.
+        """
         if self.cache is None:
-            return self.scheduler.submit(reference)
+            # content digests are not free: only computed when the
+            # routing policy actually reads keys
+            key = window_key(reference) if self.pool.router.uses_keys \
+                else None
+            return self.pool.submit(reference, key=key)
         key = window_key(reference)
         cached = self.cache.get(key)
         if cached is not None:
@@ -102,7 +148,7 @@ class ForecastServer:
                 leader.add_done_callback(
                     lambda fut: self._follow(follower, fut))
                 return follower
-            future = self.scheduler.submit(reference)
+            future = self.pool.submit(reference, key=key)
             self._inflight[key] = future
         # settle the cache the moment the micro-batch lands — a done
         # callback, so no pool thread sits blocked per miss
@@ -136,13 +182,13 @@ class ForecastServer:
     # -- ensembles ------------------------------------------------------
     def submit_ensemble(self, reference: FieldWindow, n_members: int = 8,
                         wet=None, **kwargs) -> "Future[EnsembleForecast]":
-        """Run an IC-perturbation ensemble through the shared scheduler.
+        """Run an IC-perturbation ensemble through the replica pool.
 
-        The members are sharded across the scheduler's batch axis;
+        The members are sharded across the pool's batch slots;
         ``kwargs`` forward to
         :class:`~repro.workflow.ensemble.EnsembleForecaster`.
         """
-        ens = EnsembleForecaster(self.scheduler, n_members=n_members,
+        ens = EnsembleForecaster(self.pool, n_members=n_members,
                                  **kwargs)
         return self._pool.submit(ens.forecast, reference, wet)
 
@@ -153,24 +199,24 @@ class ForecastServer:
                       ) -> "Future[Tuple[FieldWindow, WorkflowReport]]":
         """Run a verifier-gated hybrid scenario out-of-band.
 
-        The scenario's surrogate passes go through the scheduler (they
-        coalesce with every other pending request); verification and
-        any solver fallbacks run on the worker pool, away from the
+        The scenario's surrogate passes go through the replica pool
+        (they coalesce with every other pending request); verification
+        and any solver fallbacks run on the worker pool, away from the
         batch loop.
         """
         if self.ocean is None or self.verifier is None:
             raise ValueError(
                 "hybrid serving needs the server constructed with "
                 "ocean= and verifier=")
-        workflow = HybridWorkflow(self.scheduler, self.ocean, self.verifier,
+        workflow = HybridWorkflow(self.pool, self.ocean, self.verifier,
                                   fallback_pool=self._solver_pool)
         return self._pool.submit(workflow.run, reference, fallback_states,
                                  threshold)
 
     # -- observability --------------------------------------------------
     def metrics(self) -> Dict[str, float]:
-        """Scheduler occupancy/latency plus cache effectiveness."""
-        out = self.scheduler.metrics.summary()
+        """Pool-wide occupancy/latency/shed plus cache effectiveness."""
+        out = self.pool.metrics.summary()
         if self.cache is not None:
             out.update({
                 "deduped_requests": self.deduped_requests,
@@ -186,7 +232,7 @@ class ForecastServer:
     def close(self) -> None:
         self._pool.shutdown(wait=True)
         self._solver_pool.shutdown(wait=True)
-        self.scheduler.close()
+        self.pool.close()
 
     def __enter__(self) -> "ForecastServer":
         return self

@@ -149,14 +149,24 @@ class ForecastEngine:
         Parameters
         ----------
         references: windows of T snapshots each, all on the same mesh;
-            slot 0 of each is consumed as the initial condition, slots
+            ``u3, v3, w3`` are (T, H, W, D) and ``zeta`` is (T, H, W).
+            Slot 0 of each is consumed as the initial condition, slots
             1..T−1 contribute only their lateral boundary rims.
 
         Returns
         -------
-        One :class:`ForecastResult` per input window, in order; results
-        are identical (up to float associativity) to running each
-        window through the serial one-episode path.
+        One :class:`ForecastResult` per input window, in order, each
+        holding (T, H, W[, D]) fields on the input mesh; results are
+        identical (up to float associativity) to running each window
+        through the serial one-episode path.
+
+        Thread safety: this method never writes model or normalizer
+        state (``eval()`` is an idempotent flag write and the autograd
+        switch is thread-local), and the input windows are only read —
+        so concurrent calls on one engine, or on several engines
+        sharing one model (an
+        :class:`~repro.serve.pool.EngineWorkerPool` of replicas), are
+        safe without locking.
         """
         references = list(references)
         if not references:

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Docs link check: fail on broken relative links in markdown files.
+
+Scans ``README.md`` and ``docs/*.md`` (or any paths given on the
+command line) for inline markdown links, resolves every relative
+target against the containing file, and exits non-zero listing the
+targets that do not exist.  Anchors are checked too: ``file.md#section``
+must match a heading slug in the target file (GitHub slug rules:
+lowercase, punctuation stripped, spaces to hyphens).  External links
+(``http(s)://``, ``mailto:``) are skipped — CI must not depend on the
+network.  Fenced code blocks are stripped first so link-shaped code
+examples cannot false-positive.
+
+Used by CI (see ``.github/workflows/ci.yml``); run locally with::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md_path: Path) -> set:
+    text = FENCE.sub("", md_path.read_text(encoding="utf-8"))
+    return {slugify(h) for h in HEADING.findall(text)}
+
+
+def check_file(md_path: Path) -> list:
+    """All broken link descriptions in one markdown file."""
+    text = FENCE.sub("", md_path.read_text(encoding="utf-8"))
+    broken = []
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = (md_path.parent / path_part).resolve() if path_part \
+            else md_path
+        if not dest.exists():
+            broken.append(f"{md_path}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if slugify(anchor) not in heading_slugs(dest):
+                broken.append(f"{md_path}: broken anchor -> {target}")
+    return broken
+
+
+def main(argv=None) -> int:
+    args = (argv if argv is not None else sys.argv[1:])
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a) for a in args] if args else \
+        [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    broken = []
+    for f in files:
+        if not f.exists():
+            broken.append(f"{f}: file does not exist")
+            continue
+        broken.extend(check_file(f))
+    for line in broken:
+        print(line)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if broken else 'ok'} ({len(broken)} broken)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
