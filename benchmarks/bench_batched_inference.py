@@ -1,10 +1,12 @@
-"""Batched vs serial inference throughput (the batched-engine tentpole).
+"""Batched vs serial and compiled vs eager inference throughput.
 
 The inference stack stages N episodes through one vectorised model
-forward instead of N batch-1 forwards.  This benchmark measures the
-throughput gain at the paper's motivating workload — an ensemble of
-perturbed initial conditions ("an ensemble of tens of thousands of
-models for uncertainty quantification", §I) — in two regimes:
+forward instead of N batch-1 forwards (PR 1), and — since PR 4 —
+replays that forward through a compiled, allocation-free execution
+plan (``repro.tensor.plan``).  This benchmark measures both layers at
+the paper's motivating workload — an ensemble of perturbed initial
+conditions ("an ensemble of tens of thousands of models for
+uncertainty quantification", §I):
 
 * **Serving scale** (the 16×16×6 operational mesh of the tests and
   examples): per-episode dispatch overhead dominates, so the batched
@@ -15,14 +17,35 @@ models for uncertainty quantification", §I) — in two regimes:
   a batch-1 chain is more cache-friendly, so the batched gain shrinks;
   the numbers are reported for the record.  (On the paper's GPUs the
   large-mesh regime is exactly where batching pays most.)
+* **Compiled vs eager** (serving batch sizes 1..8): the compiled plan
+  must be bitwise-identical to the eager forward, allocate strictly
+  less per call, and — on hosts with ≥ 2 cores, where the plan's
+  chunked elementwise replay engages — clear ≥ 1.3× throughput at the
+  serving micro-batch size.  A single-core host measures the pure
+  dispatch/allocation win honestly and does not arm the speed gate
+  (same policy as ``bench_serving.py``).
 
-Both regimes also check that batching is a pure optimisation: fields
-identical to the serial path within float tolerance.
+Run as a script (``python benchmarks/bench_batched_inference.py
+[--quick]``) this writes ``BENCH_inference.json`` — timestamped
+medians, speedups and peak buffer bytes — so per-PR perf is trackable
+(``tools/bench_gate.py`` compares two such files).
 """
 
+import argparse
+import json
+import os
+import sys
 import time
+import tracemalloc
+from datetime import datetime, timezone
+from pathlib import Path
 
 import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.data import Normalizer
 from repro.eval import compute_errors_many, format_table
@@ -31,10 +54,14 @@ from repro.workflow import (
     DualModelForecaster,
     EnsembleForecaster,
     FieldWindow,
+    ForecastEngine,
     SurrogateForecaster,
 )
 
-from conftest import T
+try:
+    from conftest import T
+except ImportError:          # script mode: the bench env is not needed
+    T = 8
 
 N_MEMBERS = 8
 SERVING = SurrogateConfig(
@@ -136,3 +163,192 @@ def test_bench_scale_throughput(env, capsys):
                   f"{N_MEMBERS} ensemble members"))
         print(f"ζ RMSE vs reference — serial: {err_serial.rmse['zeta']:.4f}, "
               f"batched: {err_batched.rmse['zeta']:.4f}")
+
+
+# ----------------------------------------------------------------------
+# compiled vs eager (PR 4): plan replay at serving batch sizes
+# ----------------------------------------------------------------------
+def _serving_windows(n, seed=0):
+    rng = np.random.default_rng(seed)
+    Ts = SERVING.time_steps
+    return [FieldWindow(rng.normal(size=(Ts, 15, 14, 6)),
+                        rng.normal(size=(Ts, 15, 14, 6)),
+                        rng.normal(size=(Ts, 15, 14, 6)),
+                        rng.normal(size=(Ts, 15, 14)))
+            for _ in range(n)]
+
+
+def _best_of(fn, repeats):
+    fn()                                     # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _tracemalloc_peak(fn):
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def run_compiled_sweep(batches=(1, 2, 4, 8), repeats=5, quick=False):
+    """Eager vs compiled ``forecast_batch`` on the serving mesh.
+
+    Returns a dict with per-batch throughputs/speedups, peak buffer
+    bytes (measured via tracemalloc around one call each, plus the
+    plan's analytic arena/live model), and the bitwise check outcome.
+    """
+    if quick:
+        batches, repeats = (1, max(batches)), 2
+    model = CoastalSurrogate(SERVING)
+    norm = Normalizer({v: 0.0 for v in ("u3", "v3", "w3", "zeta")},
+                      {v: 1.0 for v in ("u3", "v3", "w3", "zeta")})
+    eager = ForecastEngine(model, norm)      # never compiled
+    compiled = ForecastEngine(model, norm)   # shares the weights
+    out = {"batches": {}, "bitwise_equal": True}
+    for n in batches:
+        windows = _serving_windows(n, seed=n)
+        compiled.compile(n)
+        res_e = eager.forecast_batch(windows)
+        res_c = compiled.forecast_batch(windows)
+        assert res_c[0].compiled and not res_e[0].compiled
+        for a, b in zip(res_e, res_c):
+            for var in ("u3", "v3", "w3", "zeta"):
+                if not np.array_equal(getattr(a.fields, var),
+                                      getattr(b.fields, var)):
+                    out["bitwise_equal"] = False
+        t_eager = _best_of(lambda: eager.forecast_batch(windows), repeats)
+        t_comp = _best_of(lambda: compiled.forecast_batch(windows), repeats)
+        peak_eager = _tracemalloc_peak(
+            lambda: eager.forecast_batch(windows))
+        peak_comp = _tracemalloc_peak(
+            lambda: compiled.forecast_batch(windows))
+        plan = compiled.compile(n).plan
+        out["batches"][n] = {
+            "eager_eps": n / t_eager,
+            "compiled_eps": n / t_comp,
+            "speedup": t_eager / t_comp,
+            "eager_peak_bytes": peak_eager,
+            "compiled_peak_bytes": peak_comp,
+            "arena_bytes": plan.arena_bytes(),
+            "plan_steps": plan.n_steps,
+            "plan_peak_model_bytes": plan.peak_buffer_bytes(),
+            "eager_peak_model_bytes": plan.eager_peak_bytes(),
+        }
+    out["plan_stats"] = compiled.plan_stats()
+    return out
+
+
+def _print_compiled_report(sweep):
+    rows = []
+    for n, m in sorted(sweep["batches"].items()):
+        rows.append([n, f"{m['eager_eps']:.2f}", f"{m['compiled_eps']:.2f}",
+                     f"{m['speedup']:.2f}x",
+                     f"{m['eager_peak_bytes'] / 1e6:.2f}",
+                     f"{m['compiled_peak_bytes'] / 1e6:.2f}",
+                     f"{m['arena_bytes'] / 1e6:.2f}"])
+    print(format_table(
+        ["Batch", "Eager ep/s", "Compiled ep/s", "Speedup",
+         "Eager peak MB", "Compiled peak MB", "Arena MB"],
+        rows, title=f"Compiled vs eager, serving scale {SERVING.mesh}, "
+                    f"T={SERVING.time_steps}"))
+    print(f"bitwise compiled == eager: {sweep['bitwise_equal']}")
+
+
+def _check_compiled_sweep(sweep, quick=False):
+    """Shared verdicts for the pytest and script entry points.
+
+    Returns a list of failure strings (empty = pass).
+    """
+    failures = []
+    if not sweep["bitwise_equal"]:
+        failures.append("compiled results are not bitwise-identical "
+                        "to eager")
+    for n, m in sweep["batches"].items():
+        if m["compiled_peak_bytes"] >= m["eager_peak_bytes"]:
+            failures.append(
+                f"batch {n}: compiled peak buffer bytes "
+                f"{m['compiled_peak_bytes']} not below eager "
+                f"{m['eager_peak_bytes']}")
+    cores = os.cpu_count() or 1
+    top = max(sweep["batches"])
+    speedup = sweep["batches"][top]["speedup"]
+    if quick:
+        print(f"NOTE: quick mode — ≥1.3x speedup gate not armed "
+              f"(measured {speedup:.2f}x at batch {top})")
+    elif cores < 2:
+        # the plan's chunked elementwise replay needs a second core;
+        # a single-core host measures only the dispatch/allocation win
+        print(f"NOTE: host has 1 CPU core — the ≥1.3x compiled speedup "
+              f"gate is not armed (measured {speedup:.2f}x at "
+              f"batch {top})")
+    elif speedup < 1.3:
+        failures.append(
+            f"compiled speedup {speedup:.2f}x < 1.3x at serving batch "
+            f"{top} on {cores} cores")
+    return failures
+
+
+def test_compiled_vs_eager(capsys):
+    """Bitwise identity, lower peak bytes, core-gated ≥1.3× speedup."""
+    sweep = run_compiled_sweep()
+    with capsys.disabled():
+        print()
+        _print_compiled_report(sweep)
+        failures = _check_compiled_sweep(sweep)
+    assert not failures, "; ".join(failures)
+
+
+# ----------------------------------------------------------------------
+# script mode: machine-readable benchmark trajectory
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI smoke run (correctness asserts only)")
+    ap.add_argument("--out", default=None,
+                    help="JSON output path (default: BENCH_inference.json "
+                         "next to this file's repo root)")
+    args = ap.parse_args(argv)
+
+    sweep = run_compiled_sweep(quick=args.quick)
+    _print_compiled_report(sweep)
+    failures = _check_compiled_sweep(sweep, quick=args.quick)
+
+    top = max(sweep["batches"])
+    metrics = {"bitwise_equal": sweep["bitwise_equal"]}
+    for n, m in sweep["batches"].items():
+        for k, v in m.items():
+            metrics[f"{k}_b{n}"] = v
+    record = {
+        "benchmark": "inference",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": bool(args.quick),
+        "cores": os.cpu_count() or 1,
+        "config": {"mesh": list(SERVING.mesh),
+                   "time_steps": SERVING.time_steps,
+                   "batches": sorted(sweep["batches"])},
+        "metrics": metrics,
+        # tools/bench_gate.py regresses these (higher = better)
+        "gate": {"higher_better": [f"compiled_eps_b{top}"]},
+    }
+    out_path = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    for f in failures:
+        print(f"FAIL: {f}")
+    if not failures:
+        print("PASS: compiled plans bitwise-identical with lower peak "
+              "buffer bytes")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

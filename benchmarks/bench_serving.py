@@ -32,10 +32,12 @@ smoke this benchmark on every push::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import threading
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -87,16 +89,20 @@ def make_windows(n: int, seed: int = 0) -> list:
 
 def run_trial(engines, windows, offered_qps: float, n_requests: int,
               max_batch: int, max_wait: float, max_queue: int,
-              n_clients: int = 4) -> dict:
+              n_clients: int = 4, warm_plans: bool = True) -> dict:
     """Offer ``n_requests`` at ``offered_qps`` (∞ = as fast as possible)
     from ``n_clients`` threads; return achieved throughput + metrics.
 
     Clients honour backpressure: a shed request backs off by the
     advertised ``retry_after`` and retries, so every offered request is
     eventually served and the shed count measures admission pressure.
+    With ``warm_plans`` (the serving default) each engine's compiled
+    inference plan for ``max_batch`` is traced before the clock starts,
+    so saturated micro-batches replay allocation-free.
     """
     pool = EngineWorkerPool(engines, max_batch=max_batch, max_wait=max_wait,
-                            max_queue=max_queue, router="least-outstanding")
+                            max_queue=max_queue, router="least-outstanding",
+                            warm_plans=warm_plans)
     futures, lock = [], threading.Lock()
     per_client = np.array_split(np.arange(n_requests), n_clients)
     interval = n_clients / offered_qps if np.isfinite(offered_qps) else 0.0
@@ -137,6 +143,7 @@ def run_trial(engines, windows, offered_qps: float, n_requests: int,
         "occupancy": m.mean_occupancy,
         "max_occ": m.max_occupancy,
         "batches": m.n_batches,
+        "plan_batches": m.plan_batches,
         "shed": m.shed_requests,
         "p50_ms": 1e3 * m.latency_percentile(50),
         "p95_ms": 1e3 * m.latency_percentile(95),
@@ -151,19 +158,21 @@ def fmt_qps(q: float) -> str:
 def run_sweep(engines, windows, loads, n_requests, args, label: str):
     print(f"\n--- {label} ---")
     header = (f"{'offered':>8} {'achieved':>9} {'occupancy':>9} "
-              f"{'batches':>7} {'shed':>5} {'p50':>8} {'p95':>8}")
+              f"{'batches':>7} {'plan':>5} {'shed':>5} {'p50':>8} "
+              f"{'p95':>8}")
     print(header)
     print("-" * len(header))
     rows, all_records = [], []
     for qps in loads:
         row = run_trial(engines, windows, qps, n_requests,
-                        args.max_batch, args.max_wait, args.max_queue)
+                        args.max_batch, args.max_wait, args.max_queue,
+                        warm_plans=not args.no_plans)
         all_records.extend(row.pop("records"))
         rows.append(row)
         print(f"{fmt_qps(row['offered_qps']):>8} "
               f"{row['achieved_qps']:>8.0f}/s "
               f"{row['occupancy']:>9.2f} {row['batches']:>7d} "
-              f"{row['shed']:>5d} "
+              f"{row['plan_batches']:>5d} {row['shed']:>5d} "
               f"{row['p50_ms']:>6.1f}ms {row['p95_ms']:>6.1f}ms")
     return rows, all_records
 
@@ -181,6 +190,12 @@ def main(argv=None) -> int:
                     help="scheduler flush timeout [s]")
     ap.add_argument("--max-queue", type=int, default=256,
                     help="per-replica outstanding-request bound")
+    ap.add_argument("--no-plans", action="store_true",
+                    help="serve through the eager path instead of "
+                         "warmed compiled plans")
+    ap.add_argument("--out", default=None,
+                    help="JSON output path (default: BENCH_serving.json "
+                         "in the repo root)")
     args = ap.parse_args(argv)
     if args.workers < 1:
         ap.error("--workers must be >= 1")
@@ -239,6 +254,40 @@ def main(argv=None) -> int:
             print(f"{n:>9} {pool_model.saturation_throughput(n):>19.0f} "
                   f"{pool_model.speedup(n):>7.2f}×")
 
+    # -- machine-readable trajectory ------------------------------------
+    saturated_rows = pool_rows or single_rows
+    metrics = {
+        "single_sat_qps": single_sat,
+        "saturated_occupancy": saturated_rows[-1]["occupancy"],
+        "plan_batches_saturated": saturated_rows[-1]["plan_batches"],
+        "batches_saturated": saturated_rows[-1]["batches"],
+        "replica_dispatch_ms": 1e3 * replica_model.dispatch_seconds,
+        "replica_per_request_ms": 1e3 * replica_model.per_request_seconds,
+    }
+    gate_keys = ["single_sat_qps"]
+    if args.workers > 1:
+        metrics["pool_sat_qps"] = pool_sat
+        metrics["pool_speedup"] = speedup
+        metrics["contention_sigma"] = pool_model.contention
+        gate_keys.append("pool_sat_qps")
+    record = {
+        "benchmark": "serving",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": bool(args.quick),
+        "cores": os.cpu_count() or 1,
+        "config": {"workers": args.workers, "max_batch": args.max_batch,
+                   "max_wait": args.max_wait, "max_queue": args.max_queue,
+                   "requests_per_level": n_requests,
+                   "compiled_plans": not args.no_plans},
+        "metrics": metrics,
+        # tools/bench_gate.py regresses these (higher = better)
+        "gate": {"higher_better": gate_keys},
+    }
+    out_path = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
     # -- verdicts -------------------------------------------------------
     saturated = (pool_rows or single_rows)[-1]
     if saturated["occupancy"] <= 1.0:
@@ -247,6 +296,17 @@ def main(argv=None) -> int:
         return 1
     print(f"PASS: saturating load coalesced "
           f"{saturated['occupancy']:.2f} requests/forward")
+
+    if not args.no_plans:
+        share = saturated["plan_batches"] / max(saturated["batches"], 1)
+        if saturated["plan_batches"] == 0 and not args.quick:
+            print("FAIL: compiled plans never engaged at saturating load "
+                  "(0 plan batches) despite warm_plans")
+            return 1
+        print(f"{'NOTE' if args.quick else 'PASS'}: "
+              f"{saturated['plan_batches']}/{saturated['batches']} "
+              f"saturated micro-batches ({100 * share:.0f}%) replayed "
+              f"the compiled plan")
 
     if args.workers > 1:
         cores = os.cpu_count() or 1

@@ -50,6 +50,11 @@ def main():
     )
     norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
     engine = ForecastEngine(CoastalSurrogate(cfg), norm)
+    # the server warms the max_batch plan; this demo's offered load
+    # mostly flushes partial micro-batches, so compile the small sizes
+    # too — any compiled size replays allocation-free, bitwise ≡ eager
+    for n in (1, 2, 3, 4, 5):
+        engine.compile(n)
 
     rng = np.random.default_rng(0)
     trending = [make_window(rng) for _ in range(3)]   # the hot scenarios
@@ -103,6 +108,9 @@ def main():
     print(f"  engine forwards        : {metrics['batches']:.0f} "
           f"(mean occupancy {metrics['mean_occupancy']:.2f}, "
           f"max {metrics['max_occupancy']:.0f})")
+    print(f"  compiled plan replays  : {metrics['plan_batches']:.0f} "
+          f"of {metrics['batches']:.0f} forwards "
+          f"(plans warmed for batch 1-5 + max_batch; bitwise ≡ eager)")
     print(f"  latency p50 / p95      : {metrics['latency_p50_ms']:.1f} / "
           f"{metrics['latency_p95_ms']:.1f} ms")
     print(f"  cache hits / misses    : {metrics['cache_hits']:.0f} / "

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..tensor import Tensor, astensor, is_grad_enabled
+from ..tensor import plan as _plan
 from . import init
 from .layers import Dropout, Linear
 from .module import Module
@@ -68,8 +69,13 @@ class MultiHeadSelfAttention(Module):
         q, k, v = qkv[0], qkv[1], qkv[2]
 
         attn = q.matmul(k.swapaxes(-1, -2))  # (B, h, N, N)
+        tracing = _plan.tracing()
         inference = not (is_grad_enabled() and attn.requires_grad)
-        if inference:
+        if tracing:
+            # record the in-place scale against attn's buffer slot
+            attn = _plan.trace_apply("imul_scalar", (attn,),
+                                     {"scale": self.scale})
+        elif inference:
             attn.data *= self.scale            # fresh buffer: scale in place
         else:
             attn = attn * self.scale
@@ -79,7 +85,12 @@ class MultiHeadSelfAttention(Module):
                 # (nW, 1, N, N) per-window mask broadcast over the batch
                 # groups (tokens are laid out batch-slowest)
                 nW = m.shape[0]
-                if inference:
+                if tracing:
+                    # the mask is shape-dependent only: a plan constant
+                    attn = _plan.trace_apply(
+                        "add_window_mask", (attn,),
+                        {"mask": m, "nW": nW, "heads": self.num_heads})
+                elif inference:
                     attn.data.reshape(B // nW, nW, self.num_heads, N, N)[
                         ...] += m[None]
                 else:
@@ -87,7 +98,9 @@ class MultiHeadSelfAttention(Module):
                             + Tensor(m[None])).reshape(B, self.num_heads,
                                                        N, N)
             else:
-                if inference:
+                if tracing:
+                    attn = _plan.trace_apply("iadd", (attn, Tensor(m)))
+                elif inference:
                     attn.data += m
                 else:
                     attn = attn + Tensor(m)
@@ -97,3 +110,13 @@ class MultiHeadSelfAttention(Module):
         out = attn.matmul(v)  # (B, h, N, hd)
         out = out.transpose(0, 2, 1, 3).reshape(B, N, C)
         return self.proj_drop(self.proj(out))
+
+
+@_plan.register_kernel("add_window_mask", "inplace")
+def _k_add_window_mask(out, ins, consts):
+    """In-place SW-MSA mask add through the batch-grouped view."""
+    t = ins[0]
+    m, nW, heads = consts["mask"], consts["nW"], consts["heads"]
+    B, N = t.shape[0], t.shape[-1]
+    t.reshape(B // nW, nW, heads, N, N)[...] += m[None]
+    return t

@@ -13,6 +13,7 @@ import numpy as np
 from scipy import special as _sp_special
 
 from ..tensor import Tensor, astensor, is_grad_enabled
+from ..tensor import plan as _plan
 from . import init
 from .module import Module, Parameter
 
@@ -38,6 +39,8 @@ def gelu(x: Tensor) -> Tensor:
     memory.
     """
     x = astensor(x)
+    if _plan.tracing():
+        return _plan.trace_apply("gelu", (x,))
     if not (is_grad_enabled() and x.requires_grad):
         y = x.data * np.float32(1.0 / np.sqrt(2.0))
         _sp_special.erf(y, out=y)
@@ -81,8 +84,11 @@ class Linear(Module):
         x = astensor(x)
         out = x.matmul(self.weight)
         if self.bias is not None:
-            if not (is_grad_enabled() and
-                    (x.requires_grad or self.weight.requires_grad)):
+            if _plan.tracing():
+                # record the in-place bias add against out's buffer slot
+                out = _plan.trace_apply("iadd", (out, self.bias))
+            elif not (is_grad_enabled() and
+                      (x.requires_grad or self.weight.requires_grad)):
                 out.data += self.bias.data     # fresh buffer: add in place
             else:
                 out = out + self.bias
@@ -101,6 +107,10 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         x = astensor(x)
+        if _plan.tracing():
+            return _plan.trace_apply("layernorm",
+                                     (x, self.weight, self.bias),
+                                     {"eps": self.eps})
         if not (is_grad_enabled() and
                 (x.requires_grad or self.weight.requires_grad)):
             # fused inference path: one working buffer, in-place updates
@@ -142,6 +152,10 @@ class BatchNorm(Module):
         axes = (0,) + tuple(range(2, x.ndim))
         bshape = (1, self.num_features) + (1,) * (x.ndim - 2)
         if self.training:
+            if _plan.tracing():
+                raise _plan.TraceError(
+                    "BatchNorm in training mode mutates running stats; "
+                    "call model.eval() before tracing")
             mu = x.mean(axis=axes, keepdims=True)
             var = ((x - mu) * (x - mu)).mean(axis=axes, keepdims=True)
             n = x.size // self.num_features
@@ -159,6 +173,11 @@ class BatchNorm(Module):
                 scale = self.weight.data.reshape(bshape) * inv
                 shift = self.bias.data.reshape(bshape) \
                     - self.running_mean.reshape(bshape) * scale
+                if _plan.tracing():
+                    # running stats fold into per-channel scale/shift plan
+                    # constants (recompile after loading new weights)
+                    return _plan.trace_apply(
+                        "bn_affine", (x,), {"scale": scale, "shift": shift})
                 y = x.data * scale
                 y += shift
                 return Tensor(y)
@@ -183,6 +202,10 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return astensor(x)
+        if _plan.tracing():
+            raise _plan.TraceError(
+                "Dropout in training mode is stochastic; call "
+                "model.eval() before tracing")
         x = astensor(x)
         keep = 1.0 - self.p
         mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
@@ -204,3 +227,39 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.drop(self.fc2(self.act(self.fc1(x))))
+
+
+# ----------------------------------------------------------------------
+# plan kernels — the fused inference fast paths above, replayed
+# verbatim (same in-place NumPy chains, arena buffer as the working
+# buffer), so compiled forwards are bitwise identical to eager ones
+# ----------------------------------------------------------------------
+@_plan.register_kernel("gelu", "compute", rowwise=True)
+def _k_gelu(out, ins, consts):
+    a = ins[0]
+    y = np.multiply(a, np.float32(1.0 / np.sqrt(2.0)), out=out)
+    _sp_special.erf(y, out=y)
+    y += 1.0
+    y *= a
+    y *= 0.5
+    return y
+
+
+@_plan.register_kernel("layernorm", "compute", rowwise=True)
+def _k_layernorm(out, ins, consts):
+    a, w, b = ins
+    y = np.subtract(a, a.mean(axis=-1, keepdims=True), out=out)
+    var = np.mean(np.square(y), axis=-1, keepdims=True)
+    var += consts["eps"]
+    np.sqrt(var, out=var)
+    y /= var
+    y *= w
+    y += b
+    return y
+
+
+@_plan.register_kernel("bn_affine", "compute", rowwise=True)
+def _k_bn_affine(out, ins, consts):
+    y = np.multiply(ins[0], consts["scale"], out=out)
+    y += consts["shift"]
+    return y

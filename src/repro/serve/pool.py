@@ -279,6 +279,12 @@ class PoolMetrics:
         return sum(m.n_failed_batches for m in self.per_worker)
 
     @property
+    def plan_batches(self) -> int:
+        """Micro-batches served by a compiled inference plan, across
+        every replica."""
+        return sum(m.plan_batches for m in self.per_worker)
+
+    @property
     def mean_occupancy(self) -> float:
         if not self.n_batches:
             return float("nan")
@@ -322,6 +328,7 @@ class PoolMetrics:
             "requests": self.n_requests,
             "batches": self.n_batches,
             "failed_batches": self.n_failed_batches,
+            "plan_batches": self.plan_batches,
             "shed_requests": self.shed_requests,
             "outstanding": self.outstanding,
             "mean_occupancy": self.mean_occupancy,
@@ -356,6 +363,11 @@ class EngineWorkerPool:
         ``False`` gives the deterministic manual mode — the caller
         drives the queues with :meth:`flush` (or per-worker
         ``pool.workers[i].scheduler.step()``).
+    warm_plans: compile each engine's inference plan for ``max_batch``
+        at startup (replicas sharing one
+        :class:`~repro.workflow.engine.ForecastEngine` share its plan
+        cache, so the trace happens once per distinct engine); see
+        :class:`~repro.serve.scheduler.MicroBatchScheduler`.
 
     Thread safety: :meth:`submit` and :meth:`forecast_batch` may be
     called from any number of client threads; routing state is guarded
@@ -367,7 +379,7 @@ class EngineWorkerPool:
                  max_batch: int = 8, max_wait: float = 0.005,
                  max_queue: int = 32,
                  router: Union[str, Router] = "least-outstanding",
-                 autostart: bool = True):
+                 autostart: bool = True, warm_plans: bool = False):
         if hasattr(engines, "forecast_batch"):
             engines = [engines]
         engines = list(engines)
@@ -398,9 +410,24 @@ class EngineWorkerPool:
         self.workers: Tuple[_Worker, ...] = tuple(
             _Worker(i, MicroBatchScheduler(engine, max_batch=max_batch,
                                            max_wait=max_wait,
-                                           autostart=autostart))
+                                           autostart=autostart,
+                                           warm_plans=warm_plans))
             for i, engine in enumerate(engines))
         self.metrics = PoolMetrics(self.workers, self)
+
+    def plan_stats(self) -> Dict[int, Dict]:
+        """Per-distinct-engine plan-cache counters (replicas sharing
+        one engine share its cache; keys are replica ids of the first
+        worker using each engine)."""
+        seen: Dict[int, Dict] = {}
+        ids = set()
+        for w in self.workers:
+            engine = w.scheduler.engine
+            if id(engine) in ids or not hasattr(engine, "plan_stats"):
+                continue
+            ids.add(id(engine))
+            seen[w.worker_id] = engine.plan_stats()
+        return seen
 
     @property
     def n_workers(self) -> int:

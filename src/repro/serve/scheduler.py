@@ -139,6 +139,7 @@ class BatchRecord:
     seconds: float               # engine.forecast_batch wall-clock
     trigger: str                 # "full" | "timeout" | "flush" | "close"
     failed: bool = False         # engine raised; its futures carry the error
+    compiled: bool = False       # served by a compiled inference plan
 
 
 @dataclass(frozen=True)
@@ -176,6 +177,12 @@ class ServeMetrics:
         return sum(b.failed for b in self.batches)
 
     @property
+    def plan_batches(self) -> int:
+        """Micro-batches served by a compiled inference plan (plan-cache
+        hits at the granularity metrics are kept at)."""
+        return sum(b.compiled for b in self.batches)
+
+    @property
     def mean_occupancy(self) -> float:
         if not self.batches:
             return float("nan")
@@ -208,6 +215,7 @@ class ServeMetrics:
             "requests": self.n_requests,
             "batches": self.n_batches,
             "failed_batches": self.n_failed_batches,
+            "plan_batches": self.plan_batches,
             "mean_occupancy": self.mean_occupancy,
             "max_occupancy": self.max_occupancy,
             "latency_p50_ms": 1e3 * self.latency_percentile(50),
@@ -232,10 +240,18 @@ class MicroBatchScheduler:
     autostart: start the worker thread (threaded mode).  With
         ``False`` the caller drives the queue via :meth:`step` /
         :meth:`flush` (manual mode — deterministic, thread-free).
+    warm_plans: compile the engine's inference plan for ``max_batch``
+        episodes at startup (requires an engine exposing ``compile``,
+        i.e. a :class:`~repro.workflow.engine.ForecastEngine`), so the
+        first saturated micro-batch replays a plan instead of paying
+        the trace.  Partial batches below ``max_batch`` fall back to
+        the (bitwise-identical) eager path unless compiled separately
+        via ``engine.compile(n)``.
     """
 
     def __init__(self, engine, max_batch: int = 8,
-                 max_wait: float = 0.005, autostart: bool = True):
+                 max_wait: float = 0.005, autostart: bool = True,
+                 warm_plans: bool = False):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait < 0:
@@ -243,6 +259,12 @@ class MicroBatchScheduler:
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        if warm_plans:
+            if not hasattr(engine, "compile"):
+                raise ValueError(
+                    "warm_plans=True needs an engine with compile(); "
+                    f"{type(engine).__name__} has none")
+            engine.compile(self.max_batch)
         self.metrics = ServeMetrics()
         self._queue: Deque[_Request] = deque()
         self._lock = threading.Lock()
@@ -400,6 +422,8 @@ class MicroBatchScheduler:
             failure = exc
         seconds = time.perf_counter() - start
         done = time.perf_counter()
+        compiled = failure is None and bool(results) and \
+            getattr(results[0], "compiled", False)
         with self._lock:
             index = self._n_batches
             self._n_batches += 1
@@ -407,7 +431,7 @@ class MicroBatchScheduler:
                 index=index, size=len(batch),
                 request_ids=tuple(r.future.request_id for r in batch),
                 seconds=seconds, trigger=trigger,
-                failed=failure is not None))
+                failed=failure is not None, compiled=compiled))
             for req in batch:
                 self.metrics.requests.append(RequestRecord(
                     request_id=req.future.request_id, batch_index=index,

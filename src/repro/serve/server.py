@@ -72,6 +72,12 @@ class ForecastServer:
         :meth:`submit_hybrid` is used.
     fallback_workers: thread-pool width for out-of-band work (hybrid
         runs and their solver fallbacks).
+    warm_plans: compile each engine's inference plan for ``max_batch``
+        at startup so saturated micro-batches replay a captured plan
+        (bitwise-identical to eager, just faster and allocation-free).
+        The default (``None``) warms exactly when every engine supports
+        ``compile`` — i.e. real
+        :class:`~repro.workflow.engine.ForecastEngine` replicas.
 
     Thread safety: every public method may be called concurrently from
     any number of client threads.
@@ -84,10 +90,16 @@ class ForecastServer:
                  fallback_workers: int = 2,
                  workers: Optional[int] = None,
                  router: Union[str, Router] = "least-outstanding",
-                 max_queue: int = 32):
+                 max_queue: int = 32,
+                 warm_plans: Optional[bool] = None):
+        if warm_plans is None:
+            candidates = engine if isinstance(engine, (list, tuple)) \
+                else [engine]
+            warm_plans = all(hasattr(e, "compile") for e in candidates)
         self.pool = EngineWorkerPool(engine, replicas=workers,
                                      max_batch=max_batch, max_wait=max_wait,
-                                     max_queue=max_queue, router=router)
+                                     max_queue=max_queue, router=router,
+                                     warm_plans=warm_plans)
         self.cache = ForecastCache(cache_bytes) if cache_bytes > 0 else None
         self.ocean = ocean
         self.verifier = verifier
@@ -215,7 +227,9 @@ class ForecastServer:
 
     # -- observability --------------------------------------------------
     def metrics(self) -> Dict[str, float]:
-        """Pool-wide occupancy/latency/shed plus cache effectiveness."""
+        """Pool-wide occupancy/latency/shed (incl. ``plan_batches``,
+        the micro-batches that replayed a compiled plan) plus cache
+        effectiveness."""
         out = self.pool.metrics.summary()
         if self.cache is not None:
             out.update({

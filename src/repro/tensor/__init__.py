@@ -7,8 +7,19 @@ Public surface:
 * :func:`conv_nd`, :func:`conv_transpose_nd` — N-d convolution kernels.
 * :func:`no_grad` — inference-mode context manager.
 * :func:`gradcheck` — finite-difference verification.
+* :mod:`~repro.tensor.plan` — compiled inference plans: :func:`trace`
+  captures a forward as an :class:`ExecutionPlan`; a
+  :class:`PlanExecutor` replays it allocation-free on raw arrays.
 """
 
+from .plan import (
+    BufferArena,
+    ExecutionPlan,
+    PlanExecutor,
+    TraceError,
+    trace,
+    tracing,
+)
 from .tensor import (
     Tensor,
     astensor,
@@ -44,4 +55,10 @@ __all__ = [
     "conv_transpose_output_shape",
     "gradcheck",
     "numerical_grad",
+    "BufferArena",
+    "ExecutionPlan",
+    "PlanExecutor",
+    "TraceError",
+    "trace",
+    "tracing",
 ]

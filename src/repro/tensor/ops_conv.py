@@ -24,6 +24,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import plan as _plan
 from .tensor import Tensor, astensor, is_grad_enabled
 
 __all__ = ["conv_nd", "conv_transpose_nd", "conv_output_shape", "conv_transpose_output_shape"]
@@ -56,8 +57,8 @@ def conv_transpose_output_shape(spatial: Sequence[int], kernel: Sequence[int],
     )
 
 
-def _fwd_patch(x: np.ndarray, w: np.ndarray,
-               out_sp: Tuple[int, ...]) -> np.ndarray:
+def _fwd_patch(x: np.ndarray, w: np.ndarray, out_sp: Tuple[int, ...],
+               out: Optional[np.ndarray] = None) -> np.ndarray:
     """stride == kernel special case: non-overlapping patches.
 
     Every output site reads one disjoint input patch, so the whole
@@ -65,7 +66,10 @@ def _fwd_patch(x: np.ndarray, w: np.ndarray,
     one pass over the input instead of one strided pass per kernel
     offset.  This is the hot path of patch embedding (and, through
     :func:`_grad_input`, patch recovery), where batched inference
-    spends most of its time.
+    spends most of its time.  With ``out`` (the compiled plan's arena
+    buffer) the final interleaving copy lands there instead of a fresh
+    allocation — a copy of the same GEMM values either way, so eager
+    and replay stay bitwise identical.
     """
     kshape = w.shape[2:]
     N, Ci = x.shape[:2]
@@ -79,9 +83,12 @@ def _fwd_patch(x: np.ndarray, w: np.ndarray,
     k_axes = tuple(3 + 2 * i for i in range(nd))
     xv = xv.transpose((0,) + o_axes + (1,) + k_axes)   # (N, o…, Ci, k…)
     xmat = xv.reshape(N, int(np.prod(out_sp)), Ci * int(np.prod(kshape)))
-    out = xmat @ w.reshape(Co, -1).T            # (N, O, Co)
-    return np.ascontiguousarray(np.moveaxis(out, -1, 1)).reshape(
-        (N, Co) + tuple(out_sp))
+    gemm = xmat @ w.reshape(Co, -1).T           # (N, O, Co)
+    if out is None:
+        return np.ascontiguousarray(np.moveaxis(gemm, -1, 1)).reshape(
+            (N, Co) + tuple(out_sp))
+    np.copyto(out.reshape(N, Co, -1), np.moveaxis(gemm, -1, 1))
+    return out
 
 
 def _fwd(x: np.ndarray, w: np.ndarray, stride: Tuple[int, ...]) -> np.ndarray:
@@ -103,13 +110,15 @@ def _fwd(x: np.ndarray, w: np.ndarray, stride: Tuple[int, ...]) -> np.ndarray:
 
 
 def _grad_input_patch(gout: np.ndarray, w: np.ndarray,
-                      in_spatial: Tuple[int, ...]) -> np.ndarray:
+                      in_spatial: Tuple[int, ...],
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
     """stride == kernel adjoint: one GEMM + one interleaving copy.
 
     Each input patch receives gradient from exactly one output site, so
     the scatter collapses to ``gout @ w`` followed by reshaping the
     kernel axes back between the spatial axes — two passes over the
     (large, full-resolution) result instead of one per kernel offset.
+    ``out`` as in :func:`_fwd_patch`: same values, arena-placed.
     """
     kshape = w.shape[2:]
     out_sp = gout.shape[2:]
@@ -123,8 +132,12 @@ def _grad_input_patch(gout: np.ndarray, w: np.ndarray,
     k_axes = tuple(2 + nd + i for i in range(nd))
     perm = (0, 1 + nd) + tuple(v for ok in zip(o_axes, k_axes) for v in ok)
     gx = gx.transpose(perm)                     # (N, Ci, o1, k1, …, od, kd)
-    return np.ascontiguousarray(gx).reshape(
-        (N, Ci) + tuple(o * k for o, k in zip(out_sp, kshape)))
+    if out is None:
+        return np.ascontiguousarray(gx).reshape(
+            (N, Ci) + tuple(o * k for o, k in zip(out_sp, kshape)))
+    np.copyto(out.reshape((N, Ci) + tuple(
+        v for ok in zip(out_sp, kshape) for v in ok)), gx)
+    return out
 
 
 def _grad_input(gout: np.ndarray, w: np.ndarray, in_spatial: Tuple[int, ...],
@@ -184,6 +197,10 @@ def conv_nd(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
     nd = x.data.ndim - 2
     stride = _as_tuple(stride, nd)
     padding = _as_tuple(padding, nd)
+    if _plan.tracing():
+        ins = (x, w) if b is None else (x, w, astensor(b))
+        return _plan.trace_apply("conv_nd", ins,
+                                 {"stride": stride, "padding": padding})
     xd = x.data
     if any(padding):
         pw = ((0, 0), (0, 0)) + tuple((p, p) for p in padding)
@@ -237,6 +254,11 @@ def conv_transpose_nd(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
     nd = x.data.ndim - 2
     stride = _as_tuple(stride, nd)
     output_padding = _as_tuple(output_padding, nd)
+    if _plan.tracing():
+        ins = (x, w) if b is None else (x, w, astensor(b))
+        return _plan.trace_apply(
+            "conv_transpose_nd", ins,
+            {"stride": stride, "output_padding": output_padding})
     kshape = w.data.shape[2:]
     out_sp = conv_transpose_output_shape(x.data.shape[2:], kshape, stride,
                                          output_padding)
@@ -278,4 +300,66 @@ def conv_transpose_nd(x: Tensor, w: Tensor, b: Optional[Tensor] = None,
                 b._accum(g.sum(axis=(0,) + tuple(range(2, g.ndim))))
 
         out._backward = _bw
+    return out
+
+
+# ----------------------------------------------------------------------
+# plan kernels — byte-for-byte the eager expressions above (the very
+# same functions run both paths), so traced replays of the conv-GEMM
+# fast paths are bitwise identical.  With a preallocated ``out`` the
+# final interleaving copy of the patch GEMM lands directly in the
+# arena buffer.
+# ----------------------------------------------------------------------
+@_plan.register_kernel("conv_nd", "compute")
+def _k_conv_nd(out, ins, consts):
+    x, w = ins[0], ins[1]
+    stride, padding = consts["stride"], consts["padding"]
+    nd = x.ndim - 2
+    if any(padding):
+        pw = ((0, 0), (0, 0)) + tuple((p, p) for p in padding)
+        x = np.pad(x, pw)
+    kshape = w.shape[2:]
+    out_sp = conv_output_shape(x.shape[2:], kshape, stride, (0,) * nd)
+    if out is None:
+        r = _fwd(x, w, stride)
+        if len(ins) > 2:
+            r = r + ins[2].reshape((1, -1) + (1,) * nd)
+        return r
+    if tuple(stride) == tuple(kshape):
+        _fwd_patch(x, w, out_sp, out)
+    else:
+        np.copyto(out, _fwd(x, w, stride))
+    if len(ins) > 2:
+        out += ins[2].reshape((1, -1) + (1,) * nd)
+    return out
+
+
+@_plan.register_kernel("conv_transpose_nd", "compute")
+def _k_conv_transpose_nd(out, ins, consts):
+    x, w = ins[0], ins[1]
+    stride = consts["stride"]
+    output_padding = consts["output_padding"]
+    nd = x.ndim - 2
+    kshape = w.shape[2:]
+    out_sp = conv_transpose_output_shape(x.shape[2:], kshape, stride,
+                                         output_padding)
+    core_sp = tuple(o - op for o, op in zip(out_sp, output_padding))
+    if out is None or any(output_padding):
+        r = _grad_input(x, w, core_sp, stride)
+        if any(output_padding):
+            pw = ((0, 0), (0, 0)) + tuple((0, p) for p in output_padding)
+            r = np.pad(r, pw)
+        if len(ins) > 2:
+            r = r + ins[2].reshape((1, -1) + (1,) * nd)
+        if out is not None:
+            np.copyto(out, r)
+            return out
+        return r
+    if tuple(stride) == tuple(kshape) and tuple(core_sp) == tuple(
+            o * k for o, k in zip(x.shape[2:], kshape)):
+        _grad_input_patch(x, w, core_sp, out)
+    else:
+        np.copyto(out, _grad_input(x, w, core_sp, stride))
+    if len(ins) > 2:
+        out += ins[2].reshape((1, -1) + (1,) * nd)
     return out

@@ -27,6 +27,11 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 from scipy import special as _sp_special
 
+from . import plan as _plan
+
+_tracing = _plan.tracing
+_trace_apply = _plan.trace_apply
+
 __all__ = [
     "Tensor",
     "no_grad",
@@ -100,7 +105,8 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_slot")
 
     __array_priority__ = 1000  # take precedence over ndarray in mixed ops
 
@@ -156,10 +162,42 @@ class Tensor:
         return float(self.data.item())
 
     def detach(self) -> "Tensor":
-        """Return a view of this tensor cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """Return a graph-free tensor that **aliases** this storage.
+
+        The result shares memory with ``self.data`` (the
+        ``torch.Tensor.detach`` contract): in-place writes through
+        either tensor are visible through both, so callers that go on
+        to mutate a detached tensor must take :meth:`copy` instead.
+        Eval-path audit (PR 4): no in-repo caller mutates a detached
+        tensor in place — the engine denormalises into fresh float64
+        buffers before patching fields.
+
+        Under an active trace, detach is the identity on values, so
+        the result keeps the source's buffer slot — a detached
+        intermediate must not silently constant-fold the rest of the
+        forward.
+        """
+        out = Tensor(self.data, requires_grad=False)
+        if _tracing():
+            slot = getattr(self, "_slot", None)
+            if slot is not None:
+                out._slot = slot
+        return out
+
+    def copy(self) -> "Tensor":
+        """Deep, graph-free copy with its own storage.
+
+        Unlike :meth:`detach` (which aliases) and :meth:`clone` (which
+        copies but stays differentiable), the result is safe to mutate
+        freely.
+        """
+        if _tracing() and getattr(self, "_slot", None) is not None:
+            return _trace_apply("copy", (self,))
+        return Tensor(self.data.copy(), requires_grad=False)
 
     def clone(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("copy", (self,))
         out = self._make(self.data.copy(), (self,))
         if out.requires_grad:
             def _bw(g):
@@ -169,6 +207,8 @@ class Tensor:
 
     def astype(self, dtype) -> "Tensor":
         """Differentiable dtype cast (used for fp16 mixed-precision paths)."""
+        if _tracing():
+            return _trace_apply("astype", (self,), {"dtype": dtype})
         src_dtype = self.data.dtype
         out = self._make(self.data.astype(dtype), (self,))
         if out.requires_grad:
@@ -259,6 +299,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = astensor(other)
+        if _tracing():
+            return _trace_apply("add", (self, other))
         out = self._make(self.data + other.data, (self, other))
         if out.requires_grad:
             def _bw(g):
@@ -270,6 +312,8 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("neg", (self,))
         out = self._make(-self.data, (self,))
         if out.requires_grad:
             def _bw(g):
@@ -279,6 +323,8 @@ class Tensor:
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = astensor(other)
+        if _tracing():
+            return _trace_apply("sub", (self, other))
         out = self._make(self.data - other.data, (self, other))
         if out.requires_grad:
             def _bw(g):
@@ -292,6 +338,8 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = astensor(other)
+        if _tracing():
+            return _trace_apply("mul", (self, other))
         out = self._make(self.data * other.data, (self, other))
         if out.requires_grad:
             a, b = self.data, other.data
@@ -305,6 +353,8 @@ class Tensor:
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = astensor(other)
+        if _tracing():
+            return _trace_apply("div", (self, other))
         out = self._make(self.data / other.data, (self, other))
         if out.requires_grad:
             a, b = self.data, other.data
@@ -320,6 +370,8 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("Tensor.__pow__ supports scalar exponents only")
+        if _tracing():
+            return _trace_apply("pow", (self,), {"exponent": exponent})
         out = self._make(self.data ** exponent, (self,))
         if out.requires_grad:
             a = self.data
@@ -334,6 +386,8 @@ class Tensor:
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Batched matrix product with full broadcasting on batch dims."""
         other = astensor(other)
+        if _tracing():
+            return _trace_apply("matmul", (self, other))
         out = self._make(self.data @ other.data, (self, other))
         if out.requires_grad:
             a, b = self.data, other.data
@@ -353,6 +407,8 @@ class Tensor:
     # elementwise transcendental
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("exp", (self,))
         out_data = np.exp(self.data)
         out = self._make(out_data, (self,))
         if out.requires_grad:
@@ -362,6 +418,8 @@ class Tensor:
         return out
 
     def log(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("log", (self,))
         out = self._make(np.log(self.data), (self,))
         if out.requires_grad:
             a = self.data
@@ -371,6 +429,8 @@ class Tensor:
         return out
 
     def sqrt(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("sqrt", (self,))
         out_data = np.sqrt(self.data)
         out = self._make(out_data, (self,))
         if out.requires_grad:
@@ -380,6 +440,8 @@ class Tensor:
         return out
 
     def tanh(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("tanh", (self,))
         out_data = np.tanh(self.data)
         out = self._make(out_data, (self,))
         if out.requires_grad:
@@ -389,6 +451,8 @@ class Tensor:
         return out
 
     def sigmoid(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("sigmoid", (self,))
         out_data = _sp_special.expit(self.data)
         out = self._make(out_data, (self,))
         if out.requires_grad:
@@ -399,6 +463,8 @@ class Tensor:
 
     def erf(self) -> "Tensor":
         """Gauss error function — the exact GELU building block."""
+        if _tracing():
+            return _trace_apply("erf", (self,))
         out = self._make(_sp_special.erf(self.data), (self,))
         if out.requires_grad:
             a = self.data
@@ -409,6 +475,8 @@ class Tensor:
         return out
 
     def abs(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("abs", (self,))
         out = self._make(np.abs(self.data), (self,))
         if out.requires_grad:
             sign = np.sign(self.data)
@@ -418,6 +486,8 @@ class Tensor:
         return out
 
     def relu(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("relu", (self,))
         mask = self.data > 0
         out = self._make(self.data * mask, (self,))
         if out.requires_grad:
@@ -429,6 +499,8 @@ class Tensor:
     def maximum(self, other: ArrayLike) -> "Tensor":
         """Elementwise max; ties send the full gradient to ``self``."""
         other = astensor(other)
+        if _tracing():
+            return _trace_apply("maximum", (self, other))
         out = self._make(np.maximum(self.data, other.data), (self, other))
         if out.requires_grad:
             mask = self.data >= other.data
@@ -439,6 +511,8 @@ class Tensor:
         return out
 
     def clip(self, lo: float, hi: float) -> "Tensor":
+        if _tracing():
+            return _trace_apply("clip", (self,), {"lo": lo, "hi": hi})
         out = self._make(np.clip(self.data, lo, hi), (self,))
         if out.requires_grad:
             mask = (self.data >= lo) & (self.data <= hi)
@@ -451,6 +525,9 @@ class Tensor:
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if _tracing():
+            return _trace_apply("sum", (self,),
+                                {"axis": axis, "keepdims": keepdims})
         out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
         if out.requires_grad:
             shape = self.data.shape
@@ -478,6 +555,9 @@ class Tensor:
         return sq.mean(axis=axis, keepdims=keepdims) * scale
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if _tracing():
+            return _trace_apply("max", (self,),
+                                {"axis": axis, "keepdims": keepdims})
         out_data = self.data.max(axis=axis, keepdims=True)
         if keepdims:
             ret = out_data
@@ -507,6 +587,8 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        if _tracing():
+            return _trace_apply("reshape", (self,), {"shape": shape})
         out = self._make(self.data.reshape(shape), (self,))
         if out.requires_grad:
             orig = self.data.shape
@@ -520,6 +602,8 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
+        if _tracing():
+            return _trace_apply("transpose", (self,), {"axes": axes})
         out = self._make(self.data.transpose(axes), (self,))
         if out.requires_grad:
             inv = np.argsort(axes)
@@ -534,6 +618,8 @@ class Tensor:
         return self.transpose(*axes)
 
     def __getitem__(self, idx) -> "Tensor":
+        if _tracing():
+            return _trace_apply("getitem", (self,), {"idx": idx})
         out = self._make(self.data[idx], (self,))
         if out.requires_grad:
             shape = self.data.shape
@@ -548,6 +634,9 @@ class Tensor:
     def pad(self, pad_width: Sequence[Tuple[int, int]], value: float = 0.0) -> "Tensor":
         """Constant-pad; ``pad_width`` follows ``np.pad`` convention."""
         pw = tuple(tuple(p) for p in pad_width)
+        if _tracing():
+            return _trace_apply("pad", (self,),
+                                {"pad_width": pw, "value": value})
         out = self._make(
             np.pad(self.data, pw, mode="constant", constant_values=value), (self,)
         )
@@ -562,6 +651,9 @@ class Tensor:
 
     def roll(self, shift, axis) -> "Tensor":
         """Cyclic shift — the core of shifted-window attention (SW-MSA)."""
+        if _tracing():
+            return _trace_apply("roll", (self,),
+                                {"shift": shift, "axis": axis})
         out = self._make(np.roll(self.data, shift, axis=axis), (self,))
         if out.requires_grad:
             if isinstance(shift, (tuple, list)):
@@ -582,6 +674,8 @@ class Tensor:
         Computed with one temporary (shift, exp and normalise reuse the
         same buffer) — the backward only needs the final probabilities.
         """
+        if _tracing():
+            return _trace_apply("softmax", (self,), {"axis": axis})
         p = self.data - self.data.max(axis=axis, keepdims=True)
         np.exp(p, out=p)
         p /= p.sum(axis=axis, keepdims=True)
@@ -594,6 +688,8 @@ class Tensor:
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
+        if _tracing():
+            return _trace_apply("log_softmax", (self,), {"axis": axis})
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         ls = shifted - lse
@@ -634,6 +730,8 @@ def _axis_size(shape: Tuple[int, ...], axis) -> int:
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     ts = [astensor(t) for t in tensors]
+    if _tracing():
+        return _trace_apply("concatenate", ts, {"axis": axis})
     data = np.concatenate([t.data for t in ts], axis=axis)
     rg = is_grad_enabled() and any(t.requires_grad for t in ts)
     out = Tensor(data)
@@ -655,6 +753,8 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Differentiable stack along a new ``axis``."""
     ts = [astensor(t) for t in tensors]
+    if _tracing():
+        return _trace_apply("stack", ts, {"axis": axis})
     data = np.stack([t.data for t in ts], axis=axis)
     rg = is_grad_enabled() and any(t.requires_grad for t in ts)
     out = Tensor(data)
@@ -675,6 +775,8 @@ def where(cond: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Differentiable select: ``cond ? a : b`` (cond is a plain mask)."""
     a, b = astensor(a), astensor(b)
     cond = np.asarray(cond, dtype=bool)
+    if _tracing():
+        return _trace_apply("where", (Tensor(cond), a, b))
     out_data = np.where(cond, a.data, b.data)
     rg = is_grad_enabled() and (a.requires_grad or b.requires_grad)
     out = Tensor(out_data)
@@ -686,3 +788,36 @@ def where(cond: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
             b._accum(np.where(cond, 0.0, g))
         out._backward = _bw
     return out
+
+
+# ----------------------------------------------------------------------
+# plan kernels owned by this module (scipy ufuncs and composite eager
+# expressions the generic registry in repro.tensor.plan cannot host)
+# ----------------------------------------------------------------------
+@_plan.register_kernel("sigmoid", "compute")
+def _k_sigmoid(out, ins, consts):
+    return _sp_special.expit(ins[0], out=out)
+
+
+@_plan.register_kernel("erf", "compute")
+def _k_erf(out, ins, consts):
+    return _sp_special.erf(ins[0], out=out)
+
+
+@_plan.register_kernel("copy", "compute")
+def _k_copy(out, ins, consts):
+    if out is None:
+        return ins[0].copy()
+    np.copyto(out, ins[0])
+    return out
+
+
+@_plan.register_kernel("log_softmax", "fresh")
+def _k_log_softmax(out, ins, consts):
+    a, axis = ins[0], consts["axis"]
+    shifted = a - a.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return shifted - lse
+
+
+_plan.bind_runtime(Tensor, no_grad, is_grad_enabled)

@@ -11,7 +11,7 @@ engine itself, a :class:`SurrogateForecaster`, a serving-side
 direct and served calls run one code path.
 """
 
-from .engine import ForecastEngine
+from .engine import CompiledForward, ForecastEngine
 from .forecast import (
     DualModelForecaster,
     FieldWindow,
@@ -22,6 +22,7 @@ from .hybrid import EpisodeReport, HybridWorkflow, WorkflowReport
 from .ensemble import EnsembleForecast, EnsembleForecaster
 
 __all__ = [
+    "CompiledForward",
     "ForecastEngine",
     "FieldWindow",
     "ForecastResult",

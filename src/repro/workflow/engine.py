@@ -16,18 +16,21 @@ one-episode API as the batch-1 special case of this engine.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.dataset import assemble_episode_input_batch
 from ..data.preprocess import Normalizer, pad_mesh
 from ..swin.model import CoastalSurrogate
-from ..tensor import Tensor, no_grad
+from ..tensor import BufferArena, PlanExecutor, Tensor, no_grad
+from ..tensor import plan as _plan
 
-__all__ = ["FieldWindow", "ForecastResult", "ForecastEngine"]
+__all__ = ["FieldWindow", "ForecastResult", "CompiledForward",
+           "ForecastEngine"]
 
 
 @dataclass
@@ -90,6 +93,49 @@ class ForecastResult:
     fields: FieldWindow
     inference_seconds: float
     episodes: int = 1
+    #: whether the forward replayed a compiled plan (bitwise-identical
+    #: to the eager path either way)
+    compiled: bool = False
+
+
+class CompiledForward:
+    """A captured model forward for one input signature.
+
+    Holds the traced :class:`~repro.tensor.plan.ExecutionPlan` plus a
+    free-list of :class:`~repro.tensor.plan.PlanExecutor` instances:
+    executors are single-threaded by design (they own arena buffers),
+    so concurrent engine calls each :meth:`acquire` their own and
+    :meth:`release` it once the outputs have been consumed.  The
+    free-list is bounded by the actual concurrency, and released
+    executors are reused, so steady state allocates nothing.
+    """
+
+    def __init__(self, plan, arena: BufferArena):
+        self.plan = plan
+        self._arena = arena
+        self._free: List[PlanExecutor] = []
+        self._lock = threading.Lock()
+        self.executors_created = 0
+
+    def acquire(self) -> PlanExecutor:
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+            self.executors_created += 1
+        return PlanExecutor(self.plan, self._arena)
+
+    def release(self, executor: PlanExecutor) -> None:
+        with self._lock:
+            self._free.append(executor)
+
+    def retire(self) -> None:
+        """Return the free executors' arena blobs for reuse by future
+        plans (executors still in flight are simply dropped to GC when
+        their calls finish)."""
+        with self._lock:
+            executors, self._free = self._free, []
+        for ex in executors:
+            ex.release()
 
 
 class ForecastEngine:
@@ -101,6 +147,11 @@ class ForecastEngine:
         (H', W') every episode is staged onto.
     normalizer: fitted z-score statistics.
     boundary_width: rim width of the boundary-condition slots.
+
+    Batches whose shape matches a plan prepared with :meth:`compile`
+    replay that plan instead of walking the dynamic eager path; unseen
+    shapes fall back to eager execution.  Both paths are bitwise
+    identical.
     """
 
     def __init__(self, model: CoastalSurrogate, normalizer: Normalizer,
@@ -110,11 +161,95 @@ class ForecastEngine:
         self.boundary_width = boundary_width
         cfg = model.config
         self.pad_hw = (cfg.mesh[0], cfg.mesh[1])
+        self._plans: Dict[Tuple[int, ...], CompiledForward] = {}
+        self._plan_lock = threading.Lock()
+        self._arena = BufferArena()
+        self.plan_hits = 0     # forwards served by a compiled plan
+        self.plan_misses = 0   # forwards that ran the eager path
 
     @property
     def time_steps(self) -> int:
         """Episode length T — part of the batch-executor protocol."""
         return self.model.config.time_steps
+
+    # ------------------------------------------------------------------
+    # compiled plans
+    # ------------------------------------------------------------------
+    def _input_shapes(self, batch: int) -> Tuple[Tuple[int, ...],
+                                                 Tuple[int, ...]]:
+        """(x3d, x2d) shapes for a ``batch``-episode forward — fully
+        determined by the model config, independent of the request
+        mesh (episodes are padded to ``pad_hw`` before assembly)."""
+        ph, pw = self.pad_hw
+        D = self.model.config.mesh[2]
+        T = self.time_steps
+        return (batch, 3, ph, pw, D, T), (batch, 1, ph, pw, T)
+
+    def compile(self, batch: int) -> CompiledForward:
+        """Capture the model forward for ``batch`` episodes.
+
+        Traces one forward on zero inputs (the captured program is
+        shape-dependent only), finalizes it into a liveness-packed
+        :class:`~repro.tensor.plan.ExecutionPlan` and caches it;
+        subsequent :meth:`forecast_batch` calls with ``batch`` episodes
+        replay the plan.  Idempotent and thread-safe.
+
+        Plans bake the weights they were traced with (BatchNorm
+        statistics fold into per-channel scale/shift constants, the
+        positional tables into one summed table), exactly like engine
+        builds in production inference runtimes — after
+        ``load_state_dict`` or further training call
+        :meth:`clear_plans` and recompile.
+        """
+        batch = int(batch)
+        if batch < 1:
+            raise ValueError("compile() needs batch >= 1")
+        s3d, s2d = self._input_shapes(batch)
+        with self._plan_lock:
+            cached = self._plans.get(s3d)
+        if cached is not None:
+            return cached
+        self.model.eval()
+        plan, _ = _plan.trace(
+            lambda a, b: self.model(a, b),
+            (np.zeros(s3d, np.float32), np.zeros(s2d, np.float32)))
+        compiled = CompiledForward(plan, self._arena)
+        with self._plan_lock:
+            # a concurrent compile of the same shape may have won
+            return self._plans.setdefault(s3d, compiled)
+
+    def clear_plans(self) -> None:
+        """Drop every cached plan (required after retraining: folded
+        BatchNorm statistics are baked into plans as constants).  The
+        retired executors' arena blobs go back to the engine's
+        :class:`~repro.tensor.plan.BufferArena`, so recompiled plans
+        reuse them instead of allocating fresh."""
+        with self._plan_lock:
+            plans, self._plans = dict(self._plans), {}
+        for compiled in plans.values():
+            compiled.retire()
+
+    @property
+    def compiled_batches(self) -> List[int]:
+        """Batch sizes with a cached plan, ascending."""
+        with self._plan_lock:
+            return sorted(k[0] for k in self._plans)
+
+    def plan_stats(self) -> Dict[str, object]:
+        """Plan-cache and arena counters (for serving metrics)."""
+        with self._plan_lock:
+            plans = dict(self._plans)
+            hits, misses = self.plan_hits, self.plan_misses
+        return {
+            "plans": len(plans),
+            "batches": sorted(k[0] for k in plans),
+            "hits": hits,
+            "misses": misses,
+            "arena": self._arena.stats(),
+            "executors": sum(p.executors_created for p in plans.values()),
+            "arena_bytes": {k[0]: p.plan.arena_bytes()
+                            for k, p in plans.items()},
+        }
 
     # ------------------------------------------------------------------
     def _normalize_batch(self, references: Sequence[FieldWindow]
@@ -166,7 +301,11 @@ class ForecastEngine:
         so concurrent calls on one engine, or on several engines
         sharing one model (an
         :class:`~repro.serve.pool.EngineWorkerPool` of replicas), are
-        safe without locking.
+        safe without locking.  The compiled path keeps the guarantee:
+        plan *executors* own mutable arena buffers, so every call
+        acquires a private executor from the plan's free-list
+        (:class:`CompiledForward`) and returns it only after the
+        outputs have been copied out.
         """
         references = list(references)
         if not references:
@@ -181,21 +320,41 @@ class ForecastEngine:
         x3d, x2d = assemble_episode_input_batch(
             norm["u3"], norm["v3"], norm["w3"], norm["zeta"],
             self.boundary_width)
+        x3d = np.ascontiguousarray(x3d, dtype=np.float32)
+        x2d = np.ascontiguousarray(x2d, dtype=np.float32)
+
+        with self._plan_lock:
+            compiled_fwd = self._plans.get(x3d.shape)
 
         self.model.eval()
-        t0 = time.perf_counter()
-        with no_grad():
-            p3d, p2d = self.model(
-                Tensor(np.ascontiguousarray(x3d, dtype=np.float32)),
-                Tensor(np.ascontiguousarray(x2d, dtype=np.float32)))
-        seconds = time.perf_counter() - t0
-
-        H, W = references[0].zeta.shape[1:3]
         # (N, 3, H', W', D, T) → (N, 3, T, H', W', D); ζ → (N, T, H', W')
         # denormalised in float64 so the exact initial condition can be
         # restored losslessly below
-        vol = np.moveaxis(p3d.data, -1, 2).astype(np.float64)
-        zet = np.moveaxis(p2d.data[:, 0], -1, 1).astype(np.float64)
+        if compiled_fwd is not None:
+            executor = compiled_fwd.acquire()
+            try:
+                t0 = time.perf_counter()
+                p3_arr, p2_arr = executor.run((x3d, x2d))
+                seconds = time.perf_counter() - t0
+                # the outputs are arena views — consume them before the
+                # executor goes back on the free-list
+                vol = np.moveaxis(p3_arr, -1, 2).astype(np.float64)
+                zet = np.moveaxis(p2_arr[:, 0], -1, 1).astype(np.float64)
+            finally:
+                compiled_fwd.release(executor)
+            with self._plan_lock:
+                self.plan_hits += 1
+        else:
+            t0 = time.perf_counter()
+            with no_grad():
+                p3d, p2d = self.model(Tensor(x3d), Tensor(x2d))
+            seconds = time.perf_counter() - t0
+            vol = np.moveaxis(p3d.data, -1, 2).astype(np.float64)
+            zet = np.moveaxis(p2d.data[:, 0], -1, 1).astype(np.float64)
+            with self._plan_lock:
+                self.plan_misses += 1
+
+        H, W = references[0].zeta.shape[1:3]
         u3 = self.normalizer.denormalize("u3", vol[:, 0])[:, :, :H, :W]
         v3 = self.normalizer.denormalize("v3", vol[:, 1])[:, :, :H, :W]
         w3 = self.normalizer.denormalize("w3", vol[:, 2])[:, :, :H, :W]
@@ -211,5 +370,6 @@ class ForecastEngine:
             fields.u3[0], fields.v3[0], fields.w3[0] = \
                 r.u3[0], r.v3[0], r.w3[0]
             fields.zeta[0] = r.zeta[0]
-            results.append(ForecastResult(fields, per_episode))
+            results.append(ForecastResult(fields, per_episode,
+                                          compiled=compiled_fwd is not None))
         return results

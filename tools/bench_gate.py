@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Gate benchmark regressions from the BENCH_*.json trajectories.
+
+``bench_batched_inference.py`` and ``bench_serving.py`` write
+machine-readable records (timestamped medians, speedups, peak buffer
+bytes) with a ``gate.higher_better`` list naming their
+throughput-figure-of-merit keys.  This tool compares a fresh record
+against the previous run's baseline and fails on a >20% regression of
+any gated key — so a PR cannot silently lose the compiled-path
+throughput the execution layer bought.
+
+Usage::
+
+    python tools/bench_gate.py BENCH_inference.json BENCH_serving.json \
+        [--baseline-dir .bench_baselines] [--threshold 0.2] \
+        [--quick] [--update-baseline]
+
+* No baseline yet (first run on a machine / in a CI cache): the gate
+  passes and, with ``--update-baseline``, seeds the baseline.
+* ``--quick``: informational mode — regressions are reported but the
+  exit code stays 0.  CI smoke runs use this: their single short trial
+  is far too noisy to gate a perf ratio on (the same policy the
+  benchmarks themselves apply to their speed gates).
+* Baselines are per-machine artifacts; they are **not** committed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.20
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Return regression messages (empty = no regression)."""
+    problems = []
+    keys = current.get("gate", {}).get("higher_better", [])
+    cur_m = current.get("metrics", {})
+    base_m = baseline.get("metrics", {})
+    for key in keys:
+        if key not in cur_m:
+            problems.append(f"gated key {key!r} missing from current run")
+            continue
+        if key not in base_m:
+            continue        # baseline predates this metric: nothing to gate
+        new, old = float(cur_m[key]), float(base_m[key])
+        if old <= 0:
+            continue
+        drop = 1.0 - new / old
+        if drop > threshold:
+            problems.append(
+                f"{key}: {old:.2f} -> {new:.2f} "
+                f"({100 * drop:.1f}% regression > {100 * threshold:.0f}%)")
+    return problems
+
+
+def gate_file(path: Path, baseline_dir: Path, threshold: float,
+              update: bool, enforcing: bool) -> tuple[bool, list[str]]:
+    """Gate one record; returns (had_baseline, problems)."""
+    current = json.loads(path.read_text())
+    baseline_path = baseline_dir / path.name
+    if not baseline_path.exists():
+        if update:
+            baseline_dir.mkdir(parents=True, exist_ok=True)
+            shutil.copy(path, baseline_path)
+        return False, []
+    baseline = json.loads(baseline_path.read_text())
+    problems = compare(current, baseline, threshold)
+    # Baseline semantics: compare against the *previous run*, so in
+    # informational (--quick) mode always roll forward — keeping a
+    # lucky-fast baseline would ratchet and report regressions forever
+    # on normal run-to-run noise.  In enforcing mode a FAILED gate must
+    # NOT overwrite the baseline: otherwise the regressed run becomes
+    # its own baseline and the failure self-heals on a plain re-run.
+    if update and (not problems or not enforcing):
+        shutil.copy(path, baseline_path)
+    return True, problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("records", nargs="+", type=Path,
+                    help="BENCH_*.json files to gate")
+    ap.add_argument("--baseline-dir", type=Path,
+                    default=Path(".bench_baselines"),
+                    help="where previous runs' records live")
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                    help="maximum tolerated fractional drop (default 0.2)")
+    ap.add_argument("--quick", action="store_true",
+                    help="informational: report regressions, exit 0")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="seed/refresh the baseline from the current "
+                         "records (always rolls forward: the gate "
+                         "compares consecutive runs)")
+    args = ap.parse_args(argv)
+
+    failed = False
+    for path in args.records:
+        if not path.exists():
+            print(f"bench_gate: {path} not found "
+                  "(benchmark not run?) — skipping")
+            continue
+        had_baseline, problems = gate_file(
+            path, args.baseline_dir, args.threshold, args.update_baseline,
+            enforcing=not args.quick)
+        if not had_baseline:
+            seeded = " (baseline seeded)" if args.update_baseline else ""
+            print(f"bench_gate: {path.name}: no baseline yet{seeded} — pass")
+        elif not problems:
+            print(f"bench_gate: {path.name}: within "
+                  f"{100 * args.threshold:.0f}% of baseline — pass")
+        else:
+            for p in problems:
+                print(f"bench_gate: {path.name}: {p}")
+            failed = True
+    if failed and args.quick:
+        print("bench_gate: regressions found, but --quick runs are "
+              "informational (short trials are too noisy to gate on)")
+        return 0
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
