@@ -8,7 +8,6 @@ per step vs. process grid), the quantity behind ROMS's own scaling
 limits discussed in §II-B.
 """
 
-import numpy as np
 import pytest
 
 from repro.eval import format_table

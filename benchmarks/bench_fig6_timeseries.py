@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.eval import extract_series, format_table, series_skill
-from repro.workflow import FieldWindow
 
 from conftest import COARSE_EVERY, T
 

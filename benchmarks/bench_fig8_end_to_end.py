@@ -17,7 +17,7 @@ from repro.eval import format_table
 from repro.hpc import RomsPerfModel, RomsWorkload
 from repro.workflow import FieldWindow, HybridWorkflow
 
-from conftest import COARSE_EVERY, OCEAN, T
+from conftest import T
 
 N_EPISODES = 6
 HORIZON = N_EPISODES * T

@@ -13,7 +13,6 @@ Two complementary reproductions:
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.data import DataLoader, SlidingWindowDataset

@@ -1,0 +1,302 @@
+#!/usr/bin/env python
+"""Serving-operations benchmark: hot-swap and autoscaling under load.
+
+Two phases against a live :class:`~repro.serve.server.ForecastServer`:
+
+1. **Deploy under load** — paced client threads sustain traffic while
+   the main thread hot-swaps a new model version through the pool
+   (:meth:`ForecastServer.deploy`).  Measures the rolled deploy's
+   wall-clock, the sheds charged during it (the zero-downtime claim:
+   must be 0 — surge-then-drain never drops capacity), the sustained
+   throughput across the swap, and that both engine versions actually
+   served traffic.  Every response is checked bitwise against its
+   pinned version's direct ``forecast_batch`` output.
+
+2. **Autoscale across a spike** — a single-replica pool with an
+   attached :class:`~repro.serve.autoscale.AutoScaler` takes a
+   saturating burst (the pool must grow), then a quiet tail (the pool
+   must shrink back to ``min_workers``), with every transition
+   recorded in the pool's event log.
+
+Self-contained like ``bench_serving.py`` (untrained tiny surrogate:
+operations behaviour does not depend on forecast skill), so CI can
+smoke it on every push::
+
+    python benchmarks/bench_operations.py --quick
+
+Writes ``BENCH_operations.json`` — sustained-QPS is the gated
+trajectory metric (``tools/bench_gate.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data import Normalizer
+from repro.serve import ForecastServer, PoolSaturated
+from repro.swin import CoastalSurrogate, SurrogateConfig
+from repro.workflow import ForecastEngine
+from repro.workflow.engine import FieldWindow
+
+T = 4
+H, W, D = 15, 14, 6
+VARS = ("u3", "v3", "w3", "zeta")
+
+
+def build_engine(seed: int, embed_dim: int = 8) -> ForecastEngine:
+    """One engine over freshly-initialised weights (``seed`` varies the
+    init so deployed versions are numerically distinct)."""
+    cfg = SurrogateConfig(
+        mesh=(16, 16, D), time_steps=T,
+        patch3d=(4, 4, 2), patch2d=(4, 4),
+        embed_dim=embed_dim, num_heads=(2, 4, 8), depths=(2, 2, 2),
+        window_first=(2, 2, 2, 2), window_rest=(2, 2, 2, 2),
+    )
+    model = CoastalSurrogate(cfg)
+    rng = np.random.default_rng(seed)
+    state = {k: (v + rng.normal(scale=0.02, size=v.shape)).astype(v.dtype)
+             for k, v in model.state_dict().items()}
+    model.load_state_dict(state)
+    norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
+    return ForecastEngine(model, norm)
+
+
+def make_windows(n: int, seed: int = 0) -> list:
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        out.append(FieldWindow(
+            rng.normal(size=(T, H, W, D)), rng.normal(size=(T, H, W, D)),
+            rng.normal(size=(T, H, W, D)), rng.normal(size=(T, H, W))))
+    return out
+
+
+def assert_bitwise_per_version(server, engines_by_version, by_request):
+    """Every response equals its pinned version's direct output."""
+    checked = 0
+    for worker in server.pool._all_workers():
+        engine = engines_by_version[worker.version]
+        for batch in worker.scheduler.metrics.batches:
+            keys = [(worker.worker_id, rid) for rid in batch.request_ids]
+            if not all(k in by_request for k in keys):
+                continue
+            direct = engine.forecast_batch(
+                [by_request[k][0] for k in keys])
+            for k, d in zip(keys, direct):
+                got = by_request[k][1].result(timeout=5).fields
+                for var in VARS:
+                    np.testing.assert_array_equal(getattr(got, var),
+                                                  getattr(d.fields, var))
+                checked += 1
+    return checked
+
+
+def phase_deploy(n_requests: int, check_bitwise: bool) -> dict:
+    engine_v1 = build_engine(seed=1)
+    engine_v2 = build_engine(seed=2)
+    windows = make_windows(16)
+    server = ForecastServer(engine_v1, workers=2, max_batch=4,
+                            max_wait=0.002, max_queue=4096)
+    tagged, lock = [], threading.Lock()
+    deploy_started = threading.Event()
+    half = n_requests // 2
+
+    def client(cid, count):
+        for k in range(count):
+            w = windows[(cid * count + k) % len(windows)]
+            # windows repeat but each submission is its own request
+            fut = server.submit(w)
+            with lock:
+                tagged.append((w, fut))
+            if cid == 0 and k == count // 4:
+                deploy_started.set()
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(c, half // 2))
+               for c in range(2)]
+    for t in threads:
+        t.start()
+    deploy_started.wait(timeout=60)
+    d0 = time.perf_counter()
+    record = server.pool.deploy(engine_v2, source="bench-v2")
+    deploy_seconds = time.perf_counter() - d0
+    for t in threads:
+        t.join()
+    # guaranteed post-deploy traffic so version 2 demonstrably serves
+    for k in range(n_requests - 2 * (half // 2)):
+        w = windows[k % len(windows)]
+        with lock:
+            tagged.append((w, server.submit(w)))
+    for _, fut in tagged:
+        fut.result(timeout=300)
+    elapsed = time.perf_counter() - t0
+
+    served_versions = sorted({fut.engine_version for _, fut in tagged})
+    m = server.pool.metrics
+    out = {
+        "requests": len(tagged),
+        "sustained_qps": len(tagged) / elapsed,
+        "deploy_seconds": deploy_seconds,
+        "shed_during_deploy": server.pool.shed_requests,
+        "served_versions": served_versions,
+        "requests_by_version": m.requests_by_version(),
+        "deploys": sum(e.kind == "deploy-done" for e in server.pool.events),
+        "new_version": record.version,
+    }
+    if check_bitwise:
+        by_request = {(fut.worker_id, fut.request_id): (w, fut)
+                      for w, fut in tagged}
+        v2_engine = server.pool.versions[2].engines[0]
+        out["bitwise_checked"] = assert_bitwise_per_version(
+            server, {1: engine_v1, 2: v2_engine}, by_request)
+    server.close()
+    return out
+
+
+def phase_autoscale(n_requests: int) -> dict:
+    engine = build_engine(seed=3)
+    windows = make_windows(16)
+    server = ForecastServer(engine, workers=1, max_batch=4,
+                            max_wait=0.001, max_queue=8)
+    scaler = server.enable_autoscaling(
+        min_workers=1, max_workers=4, high_water=0.5, low_water=0.1,
+        scale_down_patience=2, interval=0.02)
+    # saturating burst: submit as fast as the pool admits
+    futures = []
+    for k in range(n_requests):
+        while True:
+            try:
+                futures.append(server.submit(windows[k % len(windows)]))
+                break
+            except PoolSaturated as exc:
+                time.sleep(min(exc.retry_after, 0.05))
+    for fut in futures:
+        fut.result(timeout=300)
+    peak = max((e.workers_after for e in scaler.events
+                if e.action == "up"), default=1)
+    # quiet tail: let the scaler drain back down
+    deadline = time.perf_counter() + 10.0
+    while time.perf_counter() < deadline:
+        live = sum(not w.draining for w in server.pool.workers)
+        if live <= scaler.min_workers:
+            break
+        time.sleep(0.05)
+    final = sum(not w.draining for w in server.pool.workers)
+    events = list(scaler.events)
+    out = {
+        "requests": len(futures),
+        "lost_requests": len(futures) - server.pool.metrics.n_requests,
+        "peak_workers": peak,
+        "final_workers": final,
+        "scale_ups": sum(e.action == "up" for e in events),
+        "scale_downs": sum(e.action == "down" for e in events),
+    }
+    server.close()
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI smoke run with correctness asserts")
+    ap.add_argument("--requests", type=int, default=192,
+                    help="requests in the deploy phase")
+    ap.add_argument("--out", default=None,
+                    help="JSON output path (default: BENCH_operations.json "
+                         "in the repo root)")
+    args = ap.parse_args(argv)
+    n_requests = 48 if args.quick else args.requests
+
+    print(f"operations benchmark: {n_requests} requests around a live "
+          f"hot-swap, then a saturating autoscale spike "
+          f"({os.cpu_count() or 1} cores)")
+
+    deploy = phase_deploy(n_requests, check_bitwise=True)
+    print(f"\n--- deploy under load ---")
+    print(f"  sustained            : {deploy['sustained_qps']:.0f} req/s "
+          f"across the swap ({deploy['requests']} requests)")
+    print(f"  deploy wall-clock    : {1e3 * deploy['deploy_seconds']:.0f}ms "
+          f"(roll of 2 replicas, surge-then-drain)")
+    print(f"  shed during deploy   : {deploy['shed_during_deploy']}")
+    print(f"  versions served      : {deploy['served_versions']} "
+          f"({deploy['requests_by_version']})")
+    print(f"  bitwise per version  : {deploy.get('bitwise_checked', 0)} "
+          f"responses equal their pinned version's direct output")
+
+    scale = phase_autoscale(max(24, n_requests // 2))
+    print(f"\n--- autoscale across a spike ---")
+    print(f"  workers              : 1 -> peak {scale['peak_workers']} -> "
+          f"final {scale['final_workers']}")
+    print(f"  transitions          : {scale['scale_ups']} up, "
+          f"{scale['scale_downs']} down")
+    print(f"  lost requests        : {scale['lost_requests']}")
+
+    record = {
+        "benchmark": "operations",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": bool(args.quick),
+        "cores": os.cpu_count() or 1,
+        "config": {"requests": n_requests},
+        "metrics": {
+            "sustained_qps": deploy["sustained_qps"],
+            "deploy_seconds": deploy["deploy_seconds"],
+            "shed_during_deploy": deploy["shed_during_deploy"],
+            "autoscale_peak_workers": scale["peak_workers"],
+            "autoscale_final_workers": scale["final_workers"],
+        },
+        # tools/bench_gate.py regresses these (higher = better)
+        "gate": {"higher_better": ["sustained_qps"]},
+    }
+    out_path = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / "BENCH_operations.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+    # -- verdicts -------------------------------------------------------
+    ok = True
+    if deploy["shed_during_deploy"] != 0:
+        print(f"FAIL: {deploy['shed_during_deploy']} requests shed during "
+              "the deploy — the roll must never drop capacity")
+        ok = False
+    if deploy["served_versions"] != [1, 2]:
+        print(f"FAIL: expected both versions to serve, got "
+              f"{deploy['served_versions']}")
+        ok = False
+    if deploy.get("bitwise_checked", 0) != deploy["requests"]:
+        print(f"FAIL: only {deploy.get('bitwise_checked', 0)} of "
+              f"{deploy['requests']} responses verified bitwise")
+        ok = False
+    if scale["peak_workers"] <= 1:
+        print("FAIL: the autoscaler never grew the pool under a "
+              "saturating burst")
+        ok = False
+    if scale["final_workers"] != 1:
+        print(f"FAIL: the pool did not shrink back to min_workers "
+              f"(final {scale['final_workers']})")
+        ok = False
+    if scale["lost_requests"] != 0:
+        print(f"FAIL: {scale['lost_requests']} requests lost across "
+              "scale transitions")
+        ok = False
+    if ok:
+        print("PASS: zero-shed deploy, bitwise version pinning, and a "
+              "grow-then-shrink autoscale cycle")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

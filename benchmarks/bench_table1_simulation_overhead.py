@@ -10,11 +10,10 @@ measured speedup next to the paper's 450×.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.eval import format_table
-from repro.hpc import RomsPerfModel, RomsWorkload, TABLE1_ROWS
+from repro.hpc import RomsPerfModel
 from repro.workflow import FieldWindow
 
 from conftest import COARSE_EVERY, OCEAN, T

@@ -12,7 +12,6 @@ smallest patch wins on accuracy.
 from dataclasses import replace
 import time
 
-import numpy as np
 import pytest
 
 from repro.data import DataLoader, SlidingWindowDataset

@@ -20,7 +20,6 @@ import _bootstrap  # noqa: F401  (src-checkout path setup)
 from repro.data import (
     DataLoader,
     SlidingWindowDataset,
-    SnapshotStore,
     build_archives,
     resample_store,
 )

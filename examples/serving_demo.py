@@ -12,9 +12,16 @@ behaviours mixed together:
 * one *ensemble* user whose members shard across the pool's batch
   slots.
 
-Prints the per-request latency, batch-occupancy, sharding, and cache
-metrics the server exports, plus the fitted capacity model — the same
-numbers ``benchmarks/bench_serving.py`` sweeps systematically.
+Mid-trace, a new model version is **hot-swapped** through the pool
+(``server.deploy``): the replicas roll one at a time — surge a warmed
+new-version replica, drain the old one — so the crowd never notices,
+and every in-flight request finishes bitwise-identical on the version
+that admitted it.
+
+Prints the per-request latency, batch-occupancy, sharding, cache and
+version metrics the server exports, plus the fitted capacity model —
+the same numbers ``benchmarks/bench_serving.py`` and
+``benchmarks/bench_operations.py`` sweep systematically.
 """
 
 import threading
@@ -100,6 +107,18 @@ def main():
         replay = [server.submit(trending[k % 3]) for k in range(10)]
         hits = sum(f.cache_hit for f in replay)
         results += [f.result(timeout=120) for f in replay]
+
+        # a new checkpoint lands: hot-swap it through the live pool.
+        # The roll surges a warmed version-2 replica before draining
+        # each version-1 replica, so capacity never drops; the result
+        # cache is invalidated (its entries came from the old weights)
+        retrained = CoastalSurrogate(cfg)
+        version = server.deploy(retrained)
+        swapped = server.forecast(trending[0])
+        direct = ForecastEngine(retrained, norm).forecast_batch(
+            [trending[0]])[0]
+        assert np.array_equal(swapped.fields.zeta, direct.fields.zeta), \
+            "post-swap responses must be the new version's numbers"
         metrics = server.metrics()
 
     print(f"\n  answered {len(results)} plain requests "
@@ -119,6 +138,10 @@ def main():
           f"replay wave {hits}/10 hits)")
     print(f"  in-flight dedups       : {metrics['deduped_requests']:.0f} "
           f"duplicate requests rode a leader's forward")
+    print(f"  hot-swap               : now serving version "
+          f"{metrics['engine_version']:.0f} ({version.source}; "
+          f"{metrics['deploys']:.0f} deploy, zero downtime, "
+          f"post-swap forecast bitwise ≡ new model)")
     by_worker = server.pool.metrics.requests_by_worker()
     print(f"  sharding               : "
           + ", ".join(f"replica {w} served {n}"

@@ -20,14 +20,13 @@ cost tracked analytically rather than incurred.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..ocean.grid import CurvilinearGrid, StretchedAxis
-from ..ocean.swe import ShallowWaterSolver, ShallowWaterState, SWEConfig
-from ..ocean.tides import TidalForcing
+from ..ocean.swe import ShallowWaterSolver, ShallowWaterState
 
 __all__ = ["SimComm", "BlockDecomposition", "DecomposedShallowWater",
            "halo_exchange_bytes"]

@@ -12,9 +12,7 @@ Table I rows and the per-episode fallback costs of Fig. 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, List, Tuple
 
 from .cluster import ClusterSpec, DGX_A100_CLUSTER
 from .mpi import halo_exchange_bytes

@@ -218,3 +218,18 @@ class PoolCapacityModel:
             if self.saturation_throughput(n) >= target_qps:
                 return n
         return None
+
+    def required_workers(self, demand_qps: float,
+                         target_utilization: float = 0.7,
+                         max_workers: int = 256) -> Optional[int]:
+        """Smallest replica count serving ``demand_qps`` at or below
+        ``target_utilization`` of modelled saturation — the autoscaling
+        form of :meth:`optimal_workers` (running replicas *at*
+        saturation leaves no headroom for queueing transients, so the
+        live target is demand over a utilisation fraction, not demand
+        itself).  ``None`` when no pool of up to ``max_workers``
+        reaches it."""
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        return self.optimal_workers(demand_qps / target_utilization,
+                                    max_workers=max_workers)

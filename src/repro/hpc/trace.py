@@ -10,7 +10,7 @@ copies overlap compute" claims inspectable event by event.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .pipeline import PipelineConfig, PipelineParams, TrainingPipelineModel

@@ -7,7 +7,7 @@ transposed convolution, §III-C).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 from scipy import special as _sp_special

@@ -72,7 +72,9 @@ def synth_estuary_bathymetry(grid: CurvilinearGrid,
         channel_y = iy + (cfg.river_start_y_frac - iy) * along
         in_channel = (np.abs(Y - channel_y) < 0.02) & (X > cfg.barrier_x_frac) \
             & (X < cfg.river_x_frac + 0.02)
-        h[in_channel] = np.maximum(h[in_channel], cfg.channel_depth * (1 - 0.3 * along[in_channel]))
+        h[in_channel] = np.maximum(
+            h[in_channel],
+            cfg.channel_depth * (1 - 0.3 * along[in_channel]))
 
     # River arm entering from the north.
     river = (np.abs(X - cfg.river_x_frac) < 0.03) & (Y > cfg.river_start_y_frac)

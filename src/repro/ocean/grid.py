@@ -16,7 +16,7 @@ faces with shape ``(ny, nx+1)``; ``v`` on horizontal faces with shape
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

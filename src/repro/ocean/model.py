@@ -19,12 +19,12 @@ and ``zeta`` is ``(T, H, W)``, with H = ny (north) and W = nx (east).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .bathymetry import BathymetryConfig, synth_estuary_bathymetry
-from .grid import CurvilinearGrid, make_charlotte_grid
+from .grid import make_charlotte_grid
 from .sigma import SigmaLayers, VerticalStructure
 from .swe import ShallowWaterSolver, ShallowWaterState, SWEConfig
 from .tides import TidalForcing

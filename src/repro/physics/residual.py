@@ -17,7 +17,7 @@ C-grid faces, matching how the solver computes its fluxes.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -10,20 +10,30 @@ that converts per-call speed into system throughput:
 - :mod:`repro.serve.cache` — keyed LRU cache of completed forecasts;
 - :mod:`repro.serve.pool` — N engine replicas behind pluggable routing
   (round-robin, least-outstanding, key-affinity sharding) with bounded
-  queues and explicit shed-with-retry-after backpressure;
+  queues, explicit shed-with-retry-after backpressure, and the
+  control plane: a dynamic worker set plus zero-downtime versioned
+  deploys (``EngineWorkerPool.deploy``);
+- :mod:`repro.serve.autoscale` — load-adaptive ``AutoScaler`` growing
+  and shrinking the live worker count between bounds;
 - :mod:`repro.serve.server` — routes plain, ensemble, and hybrid
   requests through the replica pool (a single-engine deployment is the
-  pool of 1).
+  pool of 1) and fronts the operations API (``deploy``,
+  ``enable_autoscaling``).
 
 See ``docs/architecture.md`` for how the pieces compose and
-``docs/serving.md`` for the tuning guide.
+``docs/serving.md`` for the tuning guide (including the Operations
+section).
 """
 
+from .autoscale import AutoScaler, LoadSample, ScaleEvent
 from .cache import ForecastCache, ForecastCacheStats, window_key
 from .pool import (
+    DeploymentError,
+    EngineVersion,
     EngineWorkerPool,
     KeyAffinityRouter,
     LeastOutstandingRouter,
+    PoolEvent,
     PoolMetrics,
     PoolSaturated,
     RoundRobinRouter,
@@ -54,5 +64,11 @@ __all__ = [
     "KeyAffinityRouter",
     "PoolMetrics",
     "PoolSaturated",
+    "PoolEvent",
+    "EngineVersion",
+    "DeploymentError",
+    "AutoScaler",
+    "LoadSample",
+    "ScaleEvent",
     "ForecastServer",
 ]

@@ -99,12 +99,19 @@ class ForecastCache:
                 return None
             self.stats.hits += 1
             return ForecastResult(cached.fields.copy(), 0.0,
-                                  cached.episodes)
+                                  cached.episodes,
+                                  engine_version=cached.engine_version)
 
     def put(self, key: str, result: ForecastResult) -> None:
-        """Store a completed forecast (a private copy of its fields)."""
+        """Store a completed forecast (a private copy of its fields).
+
+        ``engine_version`` rides along so a hit stays attributable to
+        the weights that computed it (the server clears the cache on
+        deploy, but entries read out mid-roll keep an honest label).
+        """
         stored = ForecastResult(result.fields.copy(),
-                                result.inference_seconds, result.episodes)
+                                result.inference_seconds, result.episodes,
+                                engine_version=result.engine_version)
         with self._lock:
             self.stats.evictions += self._lru.put(key, stored)
 

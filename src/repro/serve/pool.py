@@ -36,6 +36,19 @@ is read-only over model weights and the autograd switch is
 thread-local, so sharing one :class:`~repro.workflow.engine.ForecastEngine`
 across workers is safe (on multi-core hosts NumPy releases the GIL in
 its kernels, which is where the parallel speedup comes from).
+
+On top of the data plane, the pool is also the serving **control
+plane** (PR 5): the live worker set is dynamic (:meth:`~EngineWorkerPool.add_worker`
+/ :meth:`~EngineWorkerPool.remove_worker`, which the load-adaptive
+:class:`~repro.serve.autoscale.AutoScaler` drives), and
+:meth:`~EngineWorkerPool.deploy` rolls a new :class:`EngineVersion`
+through the pool replica-by-replica without dropping traffic: each old
+replica is *surged* (a warmed new-version replica is admitted first),
+then drained — its already-admitted requests finish on the engine that
+admitted them, so every response stays bitwise-deterministic for its
+pinned version — and retired.  A warmup failure rolls back before
+anything serving-visible has changed.  Every topology transition is
+recorded as a :class:`PoolEvent`.
 """
 
 from __future__ import annotations
@@ -54,6 +67,9 @@ from .scheduler import MicroBatchScheduler, ServedFuture, ServeMetrics
 
 __all__ = [
     "PoolSaturated",
+    "DeploymentError",
+    "EngineVersion",
+    "PoolEvent",
     "Router",
     "RoundRobinRouter",
     "LeastOutstandingRouter",
@@ -61,6 +77,15 @@ __all__ = [
     "PoolMetrics",
     "EngineWorkerPool",
 ]
+
+
+class DeploymentError(RuntimeError):
+    """A :meth:`EngineWorkerPool.deploy` failed and was rolled back.
+
+    The pool is guaranteed to be serving the previous version on the
+    previous worker topology when this propagates; the underlying
+    failure is chained as ``__cause__``.
+    """
 
 
 class PoolSaturated(RuntimeError):
@@ -217,12 +242,42 @@ class KeyAffinityRouter(Router):
         return [stable_key_hash(key) % n_workers]
 
 
+@dataclass(frozen=True)
+class EngineVersion:
+    """One deployed engine generation.
+
+    ``version`` is a monotonically increasing integer; every request is
+    pinned at admission to the version of the worker that admitted it
+    (``ServedFuture.engine_version``), and a version's results are
+    bitwise-deterministic — they equal the direct ``forecast_batch``
+    output of that version's engine on the micro-batch composition.
+    """
+
+    version: int
+    engines: Tuple              # distinct engine objects of this version
+    source: str                 # human-readable provenance of the weights
+    deployed_at: float          # time.time() when the version was created
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One control-plane transition (deploy step, scale-up/down)."""
+
+    kind: str                   # "scale-up" | "scale-down" | "deploy-*"
+    when: float                 # time.time()
+    n_workers: int              # live workers AFTER the transition
+    version: int                # version the transition concerns
+    detail: str = ""
+
+
 @dataclass
 class _Worker:
     """One replica: its scheduler plus the pool's admission counters."""
 
     worker_id: int
     scheduler: MicroBatchScheduler
+    version: int = 1             # EngineVersion that this replica serves
+    draining: bool = False       # no longer admissible; being retired
     outstanding: int = 0         # admitted, not yet completed
     submitted: int = 0           # admitted ever
     shed: int = 0                # rejected with this worker as first choice
@@ -237,20 +292,34 @@ class PoolMetrics:
     occupancy is total requests over total engine forwards — the
     figure of merit batching must hold on to as the pool widens, since
     sharding thins each replica's queue.
+
+    The worker set is dynamic (deploys and autoscaling retire and spawn
+    replicas); aggregation therefore runs over the *live and retired*
+    workers, so history is never lost when a replica drains — a pool
+    that served 100 requests still reports 100 after every original
+    replica has been swapped out.
     """
 
-    def __init__(self, workers: Sequence[_Worker], pool: "EngineWorkerPool"):
-        self._workers = list(workers)
+    def __init__(self, pool: "EngineWorkerPool"):
         self._pool = pool
+
+    def _all_workers(self) -> List[_Worker]:
+        return self._pool._all_workers()
 
     @property
     def n_workers(self) -> int:
-        return len(self._workers)
+        """Live replicas (including any mid-drain)."""
+        return len(self._pool.workers)
 
     @property
     def per_worker(self) -> List[ServeMetrics]:
-        """The underlying per-replica metric logs, by worker id."""
-        return [w.scheduler.metrics for w in self._workers]
+        """The underlying per-replica metric logs, live then retired."""
+        return [w.scheduler.metrics for w in self._all_workers()]
+
+    @property
+    def events(self) -> List[PoolEvent]:
+        """Control-plane transition log (deploys, scale-up/down)."""
+        return list(self._pool.events)
 
     @property
     def batches(self) -> List:
@@ -264,7 +333,7 @@ class PoolMetrics:
 
     @property
     def outstanding(self) -> int:
-        return sum(w.outstanding for w in self._workers)
+        return sum(w.outstanding for w in self._pool.workers)
 
     @property
     def n_requests(self) -> int:
@@ -311,20 +380,36 @@ class PoolMetrics:
         return float(np.percentile(qs, q)) if qs else float("nan")
 
     def requests_by_worker(self) -> Dict[int, int]:
-        """Completed-request count per worker id — the sharding skew."""
+        """Completed-request count per worker id — the sharding skew.
+        Retired workers keep their entries (worker ids are never
+        reused)."""
         return {w.worker_id: w.scheduler.metrics.n_requests
-                for w in self._workers}
+                for w in self._all_workers()}
 
     def shed_by_worker(self) -> Dict[int, int]:
         """Sheds attributed to each first-choice worker — under key
         affinity this is where hot-key skew shows up."""
-        return {w.worker_id: w.shed for w in self._workers}
+        return {w.worker_id: w.shed for w in self._all_workers()}
+
+    def requests_by_version(self) -> Dict[int, int]:
+        """Completed-request count per engine version — during a
+        rolling deploy this is where the traffic handover shows up."""
+        out: Dict[int, int] = {}
+        for w in self._all_workers():
+            out[w.version] = out.get(w.version, 0) \
+                + w.scheduler.metrics.n_requests
+        return dict(sorted(out.items()))
 
     def summary(self) -> Dict[str, float]:
         """Flat dict for logging/export; a superset of the keys of
         :meth:`ServeMetrics.summary` plus pool-only counters."""
+        events = self.events
         return {
             "workers": self.n_workers,
+            "engine_version": self._pool.current_version,
+            "deploys": sum(e.kind == "deploy-done" for e in events),
+            "scale_events": sum(e.kind in ("scale-up", "scale-down")
+                                for e in events),
             "requests": self.n_requests,
             "batches": self.n_batches,
             "failed_batches": self.n_failed_batches,
@@ -372,7 +457,10 @@ class EngineWorkerPool:
     Thread safety: :meth:`submit` and :meth:`forecast_batch` may be
     called from any number of client threads; routing state is guarded
     by one pool-level lock held only for the (cheap, non-blocking)
-    placement decision.
+    placement decision.  Topology mutations (:meth:`add_worker`,
+    :meth:`remove_worker`, :meth:`deploy`) serialise on a separate
+    re-entrant lock and never hold the routing lock across a drain, so
+    serving continues while the control plane works.
     """
 
     def __init__(self, engines, replicas: Optional[int] = None,
@@ -405,15 +493,35 @@ class EngineWorkerPool:
         self.shed_requests = 0
         self._retry_fit: Optional[Tuple[int, ServingCapacityModel]] = None
         self._route_lock = threading.Lock()
+        self._topology_lock = threading.RLock()
         self._manual = not autostart
         self._closed = False
+        self._max_batch = int(max_batch)
+        self._max_wait = float(max_wait)
+        self._warm_plans = bool(warm_plans)
+        distinct = []
+        for e in engines:
+            if not any(e is d for d in distinct):
+                distinct.append(e)
+        self.versions: Dict[int, EngineVersion] = {
+            1: EngineVersion(1, tuple(distinct), "initial", time.time())}
+        self.current_version = 1
+        self.events: List[PoolEvent] = []
+        self._retired: List[_Worker] = []
+        self._next_worker_id = len(engines)
         self.workers: Tuple[_Worker, ...] = tuple(
             _Worker(i, MicroBatchScheduler(engine, max_batch=max_batch,
                                            max_wait=max_wait,
                                            autostart=autostart,
-                                           warm_plans=warm_plans))
+                                           warm_plans=warm_plans),
+                    version=1)
             for i, engine in enumerate(engines))
-        self.metrics = PoolMetrics(self.workers, self)
+        self.metrics = PoolMetrics(self)
+
+    def _all_workers(self) -> List[_Worker]:
+        """Live + retired workers, a consistent snapshot."""
+        with self._route_lock:
+            return list(self.workers) + list(self._retired)
 
     def plan_stats(self) -> Dict[int, Dict]:
         """Per-distinct-engine plan-cache counters (replicas sharing
@@ -489,38 +597,56 @@ class EngineWorkerPool:
         PoolSaturated
             when every replica the policy allows is at ``max_queue``;
             the exception's ``retry_after`` is the suggested back-off.
-        The returned future's ``worker_id`` records the placement.
+        The returned future's ``worker_id`` records the placement and
+        ``engine_version`` pins the request to the admitting worker's
+        :class:`EngineVersion` — the version whose engine will (and,
+        once done, did) produce the result.
         """
         with self._route_lock:
             if self._closed:
                 raise RuntimeError("pool is closed")
-            outstanding = [w.outstanding for w in self.workers]
-            order = list(self.router.candidates(key, self.n_workers,
-                                                outstanding))
-            chosen = next((i for i in order
-                           if outstanding[i] < self.max_queue), None)
+            # draining replicas (mid-deploy, scaling down) take no new
+            # work; the router only ever sees the admissible set, so a
+            # strict policy like key affinity re-shards over it instead
+            # of shedding against a replica that is being retired
+            admissible = [w for w in self.workers if not w.draining]
+            if not admissible:
+                raise RuntimeError("pool has no admissible replicas")
+            outstanding = [w.outstanding for w in admissible]
+            order = [admissible[i] for i in
+                     self.router.candidates(key, len(admissible),
+                                            outstanding)]
+            chosen = next((w for w in order
+                           if w.outstanding < self.max_queue), None)
             if chosen is None:
                 self.shed_requests += 1
                 if order:
-                    self.workers[order[0]].shed += 1
+                    order[0].shed += 1
                 retry = self._retry_after_locked(
-                    min((outstanding[i] for i in order),
+                    min((w.outstanding for w in order),
                         default=self.max_queue))
                 raise PoolSaturated(
                     f"pool saturated: {len(order)} admissible replica(s) "
                     f"all at max_queue={self.max_queue}; retry in "
                     f"{retry:.3f}s", retry)
-            worker = self.workers[chosen]
+            worker = chosen
             worker.outstanding += 1
             worker.submitted += 1
-        try:
-            future = worker.scheduler.submit(reference)
-        except BaseException:
-            with self._route_lock:
+            # enqueue while still holding the routing lock: a
+            # concurrent remove_worker/deploy marks draining under this
+            # same lock *before* closing the scheduler, so a request
+            # placed here is guaranteed to be in the queue the drain
+            # serves — without this, the worker could close in the gap
+            # between placement and enqueue and the request would be
+            # lost with a RuntimeError instead of served or shed
+            try:
+                future = worker.scheduler.submit(reference)
+            except BaseException:
                 worker.outstanding -= 1
                 worker.submitted -= 1
-            raise
+                raise
         future.worker_id = worker.worker_id
+        future.engine_version = worker.version
         future.add_done_callback(
             lambda fut, w=worker: self._request_done(w))
         return future
@@ -549,19 +675,18 @@ class EngineWorkerPool:
                         for w in self.workers)
         if n_batches == 0:
             # nothing observed yet — one flush-policy quantum
-            return max(self.workers[0].scheduler.max_wait, 1e-3)
+            return max(self._max_wait, 1e-3)
         if self._retry_fit is None or self._retry_fit[0] != n_batches:
             records = [
                 b for w in self.workers
                 for b in w.scheduler.metrics.batches[-self.RETRY_FIT_WINDOW:]
                 if not b.failed]
             if not records:
-                return max(self.workers[0].scheduler.max_wait, 1e-3)
+                return max(self._max_wait, 1e-3)
             self._retry_fit = (n_batches,
                                ServingCapacityModel.from_batch_log(records))
         model = self._retry_fit[1]
-        next_batch = min(max(queue_depth, 1),
-                         self.workers[0].scheduler.max_batch)
+        next_batch = min(max(queue_depth, 1), self._max_batch)
         return model.dispatch_seconds \
             + model.per_request_seconds * next_batch
 
@@ -571,6 +696,216 @@ class EngineWorkerPool:
         aggregated batch log (see
         :meth:`ServingCapacityModel.from_batch_log`)."""
         return ServingCapacityModel.from_batch_log(self.metrics.batches)
+
+    # -- control plane: topology ----------------------------------------
+    def _make_worker(self, engine, version: int) -> _Worker:
+        """Construct one fully-warmed replica (not yet routable)."""
+        warm = self._warm_plans and hasattr(engine, "compile")
+        scheduler = MicroBatchScheduler(
+            engine, max_batch=self._max_batch, max_wait=self._max_wait,
+            autostart=not self._manual, warm_plans=warm)
+        with self._route_lock:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+        return _Worker(worker_id, scheduler, version=version)
+
+    def add_worker(self, engine=None, version: Optional[int] = None,
+                   kind: str = "scale-up", detail: str = "") -> _Worker:
+        """Spawn one replica and admit it to routing; returns it.
+
+        The replica is fully constructed — scheduler, worker thread,
+        compiled-plan warmup when the pool warms plans — *before* it
+        becomes routable, so scaling up never exposes a cold replica to
+        traffic.  With no ``engine`` the current version's engine is
+        shared (the standard scale-up; replicas sharing one
+        :class:`~repro.workflow.engine.ForecastEngine` also share its
+        plan cache, so the warmup is a cache hit).
+        """
+        with self._topology_lock:
+            with self._route_lock:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                if version is None:
+                    version = self.current_version
+                if engine is None:
+                    engine = self.versions[version].engines[0]
+            if engine.time_steps != self.time_steps:
+                raise ValueError(
+                    f"engine time_steps {engine.time_steps} != pool "
+                    f"{self.time_steps}")
+            worker = self._make_worker(engine, version)
+            with self._route_lock:
+                self.workers = (*self.workers, worker)
+                self.events.append(PoolEvent(
+                    kind, time.time(), len(self.workers), version, detail))
+            return worker
+
+    def remove_worker(self, worker_id: int, kind: str = "scale-down",
+                      detail: str = "") -> None:
+        """Drain one replica and retire it.
+
+        The replica first leaves the routable set (no new admissions),
+        then its scheduler is closed — which serves every request it
+        had already admitted on the engine (and version) that admitted
+        them, so nothing is lost or re-routed — and finally it retires
+        into the metrics history.  Blocks until the drain completes; in
+        manual mode the backlog is served inline.  Refuses to remove
+        the last admissible replica.
+        """
+        with self._topology_lock:
+            with self._route_lock:
+                worker = next((w for w in self.workers
+                               if w.worker_id == worker_id), None)
+                if worker is None:
+                    raise ValueError(f"no live worker {worker_id}")
+                if worker.draining:
+                    raise ValueError(f"worker {worker_id} already draining")
+                if sum(not w.draining for w in self.workers) <= 1:
+                    raise ValueError(
+                        "cannot remove the last admissible replica")
+                worker.draining = True
+            # outside the routing lock: completion callbacks need it
+            worker.scheduler.close()
+            with self._route_lock:
+                self.workers = tuple(w for w in self.workers
+                                     if w is not worker)
+                self._retired.append(worker)
+                self.events.append(PoolEvent(
+                    kind, time.time(), len(self.workers), worker.version,
+                    detail))
+
+    # -- control plane: versioned deploys -------------------------------
+    def deploy(self, engine, source: str = "deploy",
+               warm: Optional[bool] = None,
+               clear_old_plans: bool = False) -> EngineVersion:
+        """Roll a new engine version through the pool, zero-downtime.
+
+        Replica by replica: a warmed new-version replica is *surged*
+        into the routable set first, then one old replica is drained
+        (its already-admitted requests finish on the version that
+        admitted them — that is the bitwise version-pinning guarantee)
+        and retired.  Capacity therefore never drops below the
+        pre-deploy width and nothing is shed on the deploy's account.
+
+        Parameters
+        ----------
+        engine: the new version's batch executor; all rolled replicas
+            share it (inference is read-only, like ``replicas=N``).
+        source: human-readable provenance recorded on the
+            :class:`EngineVersion` (e.g. a checkpoint path).
+        warm: pre-compile inference plans on the new engine *before*
+            touching the pool — the sizes the outgoing engines had
+            compiled, plus ``max_batch`` when the pool warms plans (or
+            ``warm=True`` is explicit).  Default: warm whenever the
+            engine supports ``compile``.  A warmup failure raises
+            :class:`DeploymentError` with the pool untouched.
+        clear_old_plans: after a successful roll, drop the retired
+            engines' plan caches (recovers their arena memory).  Off by
+            default because the pool does not own caller-constructed
+            engines.
+
+        Raises
+        ------
+        DeploymentError
+            warmup failed (pool untouched) or the roll failed midway
+            (pool rolled back to the previous version and topology);
+            the underlying failure is chained.
+        """
+        if not (hasattr(engine, "forecast_batch")
+                and hasattr(engine, "time_steps")):
+            raise TypeError(
+                "deploy() needs a batch executor (forecast_batch + "
+                "time_steps)")
+        if engine.time_steps != self.time_steps:
+            raise ValueError(
+                f"new engine time_steps {engine.time_steps} != pool "
+                f"{self.time_steps}")
+        with self._topology_lock:
+            with self._route_lock:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                old_workers = [w for w in self.workers if not w.draining]
+                old_version = self.current_version
+            # 1. warm the new engine before touching the pool: a failed
+            # warmup must leave serving exactly as it was
+            can_compile = hasattr(engine, "compile")
+            explicit_warm = warm is True
+            if warm is None:
+                warm = can_compile
+            if warm and not can_compile:
+                raise ValueError("warm=True needs an engine with compile()")
+            if warm:
+                sizes = set()
+                for w in old_workers:
+                    sizes.update(
+                        getattr(w.scheduler.engine, "compiled_batches",
+                                None) or [])
+                if self._warm_plans or explicit_warm:
+                    sizes.add(self._max_batch)
+                try:
+                    for b in sorted(sizes):
+                        engine.compile(b)
+                except BaseException as exc:
+                    raise DeploymentError(
+                        f"warmup of {source!r} failed; pool unchanged "
+                        f"(still serving version {old_version})") from exc
+            # 2. register the version and roll replica by replica
+            with self._route_lock:
+                version = max(self.versions) + 1
+                record = EngineVersion(version, (engine,), source,
+                                       time.time())
+                self.versions[version] = record
+                self.events.append(PoolEvent(
+                    "deploy-begin", time.time(), len(self.workers),
+                    version, source))
+            added: List[_Worker] = []
+            drained: List[_Worker] = []
+            try:
+                for old in old_workers:
+                    added.append(self.add_worker(
+                        engine, version, kind="deploy-surge",
+                        detail=f"replacing worker {old.worker_id}"))
+                    self.remove_worker(
+                        old.worker_id, kind="deploy-drain",
+                        detail=f"version {old.version} replica drained")
+                    drained.append(old)
+            except BaseException as exc:
+                # 3a. roll back: re-admit one replica per drained old
+                # worker (their engines are intact), retire the new ones
+                for old in drained:
+                    self.add_worker(
+                        old.scheduler.engine, old.version,
+                        kind="deploy-rollback",
+                        detail=f"restoring worker {old.worker_id}'s engine")
+                for w in added:
+                    try:
+                        self.remove_worker(w.worker_id,
+                                           kind="deploy-rollback")
+                    except ValueError:
+                        pass
+                with self._route_lock:
+                    self.versions.pop(version, None)
+                    self.events.append(PoolEvent(
+                        "deploy-rollback", time.time(), len(self.workers),
+                        version, repr(exc)))
+                raise DeploymentError(
+                    f"deploy of {source!r} failed mid-roll; rolled back "
+                    f"to version {old_version}") from exc
+            # 3b. promote
+            with self._route_lock:
+                self.current_version = version
+                self.events.append(PoolEvent(
+                    "deploy-done", time.time(), len(self.workers),
+                    version, source))
+            if clear_old_plans:
+                live = {id(w.scheduler.engine) for w in self.workers}
+                for old in drained:
+                    retired_engine = old.scheduler.engine
+                    if id(retired_engine) not in live \
+                            and hasattr(retired_engine, "clear_plans"):
+                        retired_engine.clear_plans()
+                        live.add(id(retired_engine))
+            return record
 
     # -- manual drive ---------------------------------------------------
     def flush(self) -> int:

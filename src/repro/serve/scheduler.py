@@ -57,14 +57,16 @@ class ServedFuture:
     engine's exception).  After completion the placement metadata
     (``batch_index``, ``batch_size``, ``queue_seconds``,
     ``latency_seconds``) records where the request landed;
-    ``worker_id`` additionally records which replica served it when the
-    request went through an
+    ``worker_id`` and ``engine_version`` additionally record which
+    replica admitted it — and which :class:`~repro.serve.pool.EngineVersion`
+    it is pinned to — when the request went through an
     :class:`~repro.serve.pool.EngineWorkerPool`.
     """
 
     def __init__(self, request_id: int):
         self.request_id = request_id
         self.worker_id: Optional[int] = None
+        self.engine_version: Optional[int] = None
         self.batch_index: Optional[int] = None
         self.batch_size: Optional[int] = None
         self.queue_seconds: Optional[float] = None
@@ -284,6 +286,13 @@ class MicroBatchScheduler:
     @property
     def time_steps(self) -> int:
         return self.engine.time_steps
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet flushed into a micro-batch —
+        the instantaneous backlog the control plane watches."""
+        with self._lock:
+            return len(self._queue)
 
     def forecast_batch(self, references: Sequence[FieldWindow]
                        ) -> List[ForecastResult]:

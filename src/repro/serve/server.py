@@ -19,6 +19,14 @@ another batch executor — so served numbers equal direct numbers.  The
 single-engine deployment is not a separate code path either: it is the
 pool of 1 (``workers=1``, the default).
 
+The server is also the operations front door (PR 5):
+:meth:`ForecastServer.deploy` hot-swaps a new model, checkpoint, or
+engine through the pool with zero downtime (and invalidates the result
+cache, whose entries were computed by the outgoing weights), and
+:meth:`ForecastServer.enable_autoscaling` attaches a load-adaptive
+:class:`~repro.serve.autoscale.AutoScaler` to the pool.  See the
+Operations section of ``docs/serving.md``.
+
 When the pool is saturated (every admissible replica at its queue
 bound), :meth:`submit` propagates the pool's
 :class:`~repro.serve.pool.PoolSaturated` so the client can back off by
@@ -29,16 +37,19 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..ocean.model import RomsLikeModel
 from ..ocean.swe import ShallowWaterState
 from ..physics.verifier import Verifier
+from ..train.checkpoint import load_model_like
 from ..workflow.engine import FieldWindow, ForecastResult
 from ..workflow.ensemble import EnsembleForecast, EnsembleForecaster
 from ..workflow.hybrid import HybridWorkflow, WorkflowReport
+from .autoscale import AutoScaler
 from .cache import ForecastCache, window_key
-from .pool import EngineWorkerPool, Router
+from .pool import EngineVersion, EngineWorkerPool, Router
 from .scheduler import MicroBatchScheduler, ServedFuture
 
 __all__ = ["ForecastServer"]
@@ -118,6 +129,7 @@ class ForecastServer:
         self._inflight: Dict[str, ServedFuture] = {}
         self._inflight_lock = threading.Lock()
         self.deduped_requests = 0
+        self._autoscaler: Optional[AutoScaler] = None
 
     @property
     def scheduler(self) -> MicroBatchScheduler:
@@ -147,6 +159,7 @@ class ForecastServer:
             future.batch_size = 0
             future.queue_seconds = 0.0
             future.latency_seconds = 0.0
+            future.engine_version = cached.engine_version
             future._complete(cached)
             return future
         with self._inflight_lock:
@@ -174,13 +187,24 @@ class ForecastServer:
         except BaseException as exc:     # noqa: BLE001 — mirror the leader
             follower._fail(exc)
             return
-        # private copy: leader and follower consumers mutate freely
-        follower._complete(ForecastResult(result.fields.copy(), 0.0,
-                                          result.episodes))
+        # private copy: leader and follower consumers mutate freely;
+        # the follower is pinned to the leader's engine version (its
+        # result IS the leader's result)
+        follower.engine_version = leader.engine_version
+        follower._complete(ForecastResult(
+            result.fields.copy(), 0.0, result.episodes,
+            engine_version=leader.engine_version))
 
     def _settle(self, key: str, future: ServedFuture) -> None:
         try:
-            self.cache.put(key, future.result(timeout=0))
+            result = future.result(timeout=0)
+            # label the cached entry with the version that computed it;
+            # a request pinned to an outgoing version must not settle
+            # into the cache after deploy() already invalidated it —
+            # that would serve the old weights as hits indefinitely
+            result.engine_version = future.engine_version
+            if future.engine_version == self.pool.current_version:
+                self.cache.put(key, result)
         except Exception:        # noqa: BLE001 — a failed request caches nothing
             pass
         finally:
@@ -225,11 +249,82 @@ class ForecastServer:
         return self._pool.submit(workflow.run, reference, fallback_states,
                                  threshold)
 
+    # -- operations -----------------------------------------------------
+    def deploy(self, model_or_checkpoint,
+               source: Optional[str] = None,
+               keep_cache: bool = False) -> EngineVersion:
+        """Hot-swap a new model through the pool with zero downtime.
+
+        Accepts, in order of preference:
+
+        * a batch executor (``forecast_batch`` + ``time_steps``, e.g. a
+          :class:`~repro.workflow.engine.ForecastEngine` already wrapped
+          around the new weights) — used as-is;
+        * a checkpoint path (``str`` / ``Path``) — restored into a
+          *fresh* model of the live model's class and config
+          (:func:`~repro.train.checkpoint.load_model_like`), then
+          wrapped via :meth:`ForecastEngine.with_model`, so the live
+          model is never mutated;
+        * a bare model — wrapped via ``with_model`` likewise.
+
+        The pool rolls the new :class:`~repro.serve.pool.EngineVersion`
+        replica-by-replica (surge, drain, retire): capacity never
+        drops, in-flight requests finish bitwise-identical on the
+        version that admitted them, and a failed warmup (or a
+        checkpoint that does not load) raises with serving untouched.
+        On success the result cache is invalidated — its entries were
+        computed by the outgoing weights — unless ``keep_cache``.
+        """
+        if hasattr(model_or_checkpoint, "forecast_batch") \
+                and hasattr(model_or_checkpoint, "time_steps"):
+            engine = model_or_checkpoint
+            source = source or f"deploy({type(engine).__name__})"
+        else:
+            template = next(
+                (w.scheduler.engine for w in self.pool.workers
+                 if hasattr(w.scheduler.engine, "with_model")), None)
+            if template is None:
+                raise ValueError(
+                    "deploying a bare model or checkpoint needs a "
+                    "ForecastEngine-backed pool; pass an engine instead")
+            if isinstance(model_or_checkpoint, (str, Path)):
+                path = model_or_checkpoint
+                model = load_model_like(path, template.model)
+                source = source or f"checkpoint:{path}"
+            else:
+                model = model_or_checkpoint
+                source = source or f"model:{type(model).__name__}"
+            engine = template.with_model(model)
+        version = self.pool.deploy(engine, source=source)
+        if self.cache is not None and not keep_cache:
+            self.cache.clear()
+        # new arrivals must not follow an old-version in-flight leader;
+        # the leaders themselves finish normally (their own clients are
+        # correctly pinned to the version that admitted them) and their
+        # _settle pops are tolerant of the missing entries
+        with self._inflight_lock:
+            self._inflight.clear()
+        return version
+
+    def enable_autoscaling(self, **knobs) -> AutoScaler:
+        """Attach a load-adaptive :class:`~repro.serve.autoscale.AutoScaler`
+        to the pool (``knobs`` forward to its constructor — including
+        ``interval`` for the background tick thread) and start it.
+        Idempotent per server: the previous scaler is stopped first.
+        The scaler is stopped automatically on :meth:`close`.
+        """
+        if self._autoscaler is not None:
+            self._autoscaler.close()
+        self._autoscaler = AutoScaler(self.pool, **knobs)
+        self._autoscaler.start()
+        return self._autoscaler
+
     # -- observability --------------------------------------------------
     def metrics(self) -> Dict[str, float]:
         """Pool-wide occupancy/latency/shed (incl. ``plan_batches``,
-        the micro-batches that replayed a compiled plan) plus cache
-        effectiveness."""
+        the micro-batches that replayed a compiled plan,
+        ``engine_version``/``deploys``/``scale_events`` from the
+        control plane) plus cache effectiveness."""
         out = self.pool.metrics.summary()
         if self.cache is not None:
             out.update({
@@ -244,6 +339,8 @@ class ForecastServer:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
+        if self._autoscaler is not None:
+            self._autoscaler.close()
         self._pool.shutdown(wait=True)
         self._solver_pool.shutdown(wait=True)
         self.pool.close()

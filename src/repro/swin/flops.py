@@ -14,7 +14,7 @@ at 2 FLOPs/element (negligible but kept for completeness).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -17,10 +17,8 @@ Pipeline::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..tensor import Tensor, concatenate
 from ..nn import (

@@ -29,7 +29,6 @@ from ..nn import (
     Linear,
     Module,
 )
-from ..nn import init
 
 __all__ = [
     "PatchEmbed3d",

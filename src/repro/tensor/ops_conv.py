@@ -27,7 +27,8 @@ import numpy as np
 from . import plan as _plan
 from .tensor import Tensor, astensor, is_grad_enabled
 
-__all__ = ["conv_nd", "conv_transpose_nd", "conv_output_shape", "conv_transpose_output_shape"]
+__all__ = ["conv_nd", "conv_transpose_nd", "conv_output_shape",
+           "conv_transpose_output_shape"]
 
 
 def _as_tuple(v, n: int) -> Tuple[int, ...]:

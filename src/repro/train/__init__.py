@@ -3,7 +3,7 @@
 from .optim import Adam, AdamW, Optimizer, SGD, clip_grad_norm
 from .schedule import ConstantLR, CosineWarmup, LRSchedule, StepLR
 from .loss import episode_loss, mae, mse
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import load_checkpoint, load_model_like, save_checkpoint
 from .trainer import EpochStats, Trainer, TrainerConfig
 from .parallel import DataParallelTrainer, shard_batch
 
@@ -22,6 +22,7 @@ __all__ = [
     "episode_loss",
     "save_checkpoint",
     "load_checkpoint",
+    "load_model_like",
     "Trainer",
     "TrainerConfig",
     "EpochStats",

@@ -11,7 +11,7 @@ import numpy as np
 from ..nn.module import Module
 from .optim import Optimizer
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "load_model_like"]
 
 _META_KEY = "__meta__"
 
@@ -29,6 +29,22 @@ def save_checkpoint(path: str | Path, model: Module,
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)
     np.savez_compressed(path, **arrays)
+
+
+def load_model_like(path: str | Path, like: Module) -> Module:
+    """A fresh model of ``like``'s class/config with weights from ``path``.
+
+    The serving deploy path must never mutate the live model — in-flight
+    requests are pinned to the weights that admitted them — so a new
+    checkpoint is always restored into a *new* instance, built from the
+    running model's class and config (``type(like)(like.config)``), and
+    the live one is left untouched.  Raises whatever
+    :func:`load_checkpoint` raises on a missing or mismatched archive,
+    before anything serving-visible has changed.
+    """
+    model = type(like)(like.config)
+    load_checkpoint(path, model)
+    return model
 
 
 def load_checkpoint(path: str | Path, model: Module,

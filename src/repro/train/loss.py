@@ -8,10 +8,6 @@ velocity volume).
 
 from __future__ import annotations
 
-from typing import Tuple
-
-import numpy as np
-
 from ..tensor import Tensor
 
 __all__ = ["mse", "mae", "episode_loss"]

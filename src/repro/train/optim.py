@@ -8,7 +8,7 @@ checkpointed alongside model weights.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

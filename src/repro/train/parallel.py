@@ -24,8 +24,6 @@ import numpy as np
 from ..data.loader import Batch
 from ..hpc.mpi import SimComm
 from ..swin.model import CoastalSurrogate
-from ..tensor import Tensor
-from .loss import episode_loss
 from .optim import Optimizer, clip_grad_norm
 from .trainer import Trainer, TrainerConfig
 

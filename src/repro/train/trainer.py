@@ -10,7 +10,7 @@ throughput accounting that feeds the HPC benchmarks (Fig. 9/10).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 

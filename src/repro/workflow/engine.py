@@ -96,6 +96,10 @@ class ForecastResult:
     #: whether the forward replayed a compiled plan (bitwise-identical
     #: to the eager path either way)
     compiled: bool = False
+    #: engine version that produced this result when served through a
+    #: versioned pool (:class:`~repro.serve.pool.EngineWorkerPool`);
+    #: ``None`` for direct engine calls
+    engine_version: Optional[int] = None
 
 
 class CompiledForward:
@@ -171,6 +175,19 @@ class ForecastEngine:
     def time_steps(self) -> int:
         """Episode length T — part of the batch-executor protocol."""
         return self.model.config.time_steps
+
+    def with_model(self, model: CoastalSurrogate) -> "ForecastEngine":
+        """A fresh engine around ``model`` sharing this engine's
+        normalizer and boundary configuration.
+
+        This is the hot-swap constructor: a new checkpoint deploys as
+        ``engine.with_model(new_model)`` so the serving-side
+        configuration (and the fitted statistics the model was trained
+        against) carries over while plans start from a clean cache —
+        plans bake weights, so reusing the old engine's plans for new
+        weights would be wrong.
+        """
+        return ForecastEngine(model, self.normalizer, self.boundary_width)
 
     # ------------------------------------------------------------------
     # compiled plans

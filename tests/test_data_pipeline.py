@@ -4,11 +4,9 @@ import numpy as np
 import pytest
 
 from repro.data import (
-    Batch,
     DataLoader,
     Normalizer,
     SlidingWindowDataset,
-    SnapshotStore,
     VARIABLES,
     assemble_episode_input,
     build_archives,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import DataLoader, SlidingWindowDataset
+from repro.data import DataLoader
 from repro.swin import CoastalSurrogate
 from repro.train import (
     DataParallelTrainer,

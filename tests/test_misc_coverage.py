@@ -14,7 +14,6 @@ from repro.ocean import (
     make_charlotte_grid,
     synth_estuary_bathymetry,
 )
-from repro.ocean.model import Snapshot
 from repro.tensor import Tensor, no_grad
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.ocean import CurvilinearGrid, StretchedAxis, make_charlotte_grid
+from repro.ocean import StretchedAxis, make_charlotte_grid
 
 
 class TestStretchedAxis:

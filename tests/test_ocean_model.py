@@ -5,7 +5,6 @@ import pytest
 
 from repro.ocean import (
     GULF_CONSTITUENTS,
-    OceanConfig,
     RomsLikeModel,
     SigmaLayers,
     TidalConstituent,

@@ -1,7 +1,6 @@
 """N-d convolution kernels: shapes, values, adjoints, transpose duality."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.tensor import (

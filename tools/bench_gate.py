@@ -1,19 +1,19 @@
 #!/usr/bin/env python
 """Gate benchmark regressions from the BENCH_*.json trajectories.
 
-``bench_batched_inference.py`` and ``bench_serving.py`` write
-machine-readable records (timestamped medians, speedups, peak buffer
-bytes) with a ``gate.higher_better`` list naming their
-throughput-figure-of-merit keys.  This tool compares a fresh record
-against the previous run's baseline and fails on a >20% regression of
-any gated key — so a PR cannot silently lose the compiled-path
-throughput the execution layer bought.
+``bench_batched_inference.py``, ``bench_serving.py`` and
+``bench_operations.py`` write machine-readable records (timestamped
+medians, speedups, peak buffer bytes) with a ``gate.higher_better``
+list naming their throughput-figure-of-merit keys.  This tool compares
+a fresh record against the previous run's baseline and fails on a >20%
+regression of any gated key — so a PR cannot silently lose the
+compiled-path throughput the execution layer bought.
 
 Usage::
 
     python tools/bench_gate.py BENCH_inference.json BENCH_serving.json \
         [--baseline-dir .bench_baselines] [--threshold 0.2] \
-        [--quick] [--update-baseline]
+        [--quick] [--update-baseline] [--append-history FILE]
 
 * No baseline yet (first run on a machine / in a CI cache): the gate
   passes and, with ``--update-baseline``, seeds the baseline.
@@ -21,6 +21,16 @@ Usage::
   exit code stays 0.  CI smoke runs use this: their single short trial
   is far too noisy to gate a perf ratio on (the same policy the
   benchmarks themselves apply to their speed gates).
+* In enforcing (non ``--quick``) mode, baselines are written **only
+  after the whole gate passes**.  A per-file update would let a failed
+  run upload its own regressed numbers as the next baseline (the CI
+  cache key is per run-id, so whatever is on disk when the cache is
+  saved wins) — and the failure would then self-heal on a plain
+  re-run, which defeats the gate.
+* ``--append-history`` appends one JSON line per gated record to a
+  trajectory log (``BENCH_history.jsonl`` in CI) — pass or fail, with
+  the verdict recorded — so nightly runs accumulate a perf history
+  instead of each run overwriting the last.
 * Baselines are per-machine artifacts; they are **not** committed.
 """
 
@@ -58,27 +68,40 @@ def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
     return problems
 
 
-def gate_file(path: Path, baseline_dir: Path, threshold: float,
-              update: bool, enforcing: bool) -> tuple[bool, list[str]]:
-    """Gate one record; returns (had_baseline, problems)."""
+def gate_file(path: Path, baseline_dir: Path,
+              threshold: float) -> tuple[bool, list[str]]:
+    """Gate one record; returns (had_baseline, problems).
+
+    Pure evaluation — baseline updates happen in :func:`main`, after
+    every record has been gated, so a failing run can never promote
+    its own numbers.
+    """
     current = json.loads(path.read_text())
     baseline_path = baseline_dir / path.name
     if not baseline_path.exists():
-        if update:
-            baseline_dir.mkdir(parents=True, exist_ok=True)
-            shutil.copy(path, baseline_path)
         return False, []
     baseline = json.loads(baseline_path.read_text())
-    problems = compare(current, baseline, threshold)
-    # Baseline semantics: compare against the *previous run*, so in
-    # informational (--quick) mode always roll forward — keeping a
-    # lucky-fast baseline would ratchet and report regressions forever
-    # on normal run-to-run noise.  In enforcing mode a FAILED gate must
-    # NOT overwrite the baseline: otherwise the regressed run becomes
-    # its own baseline and the failure self-heals on a plain re-run.
-    if update and (not problems or not enforcing):
-        shutil.copy(path, baseline_path)
-    return True, problems
+    return True, compare(current, baseline, threshold)
+
+
+def append_history(history_path: Path, path: Path, had_baseline: bool,
+                   problems: list[str]) -> None:
+    """Append one trajectory line for a gated record."""
+    record = json.loads(path.read_text())
+    line = {
+        "file": path.name,
+        "benchmark": record.get("benchmark"),
+        "timestamp": record.get("timestamp"),
+        "quick": record.get("quick"),
+        "cores": record.get("cores"),
+        "metrics": record.get("metrics", {}),
+        "had_baseline": had_baseline,
+        "gate_passed": not problems,
+        "problems": problems,
+    }
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a") as fh:
+        fh.write(json.dumps(line) + "\n")
 
 
 def main(argv=None) -> int:
@@ -93,22 +116,47 @@ def main(argv=None) -> int:
     ap.add_argument("--quick", action="store_true",
                     help="informational: report regressions, exit 0")
     ap.add_argument("--update-baseline", action="store_true",
-                    help="seed/refresh the baseline from the current "
-                         "records (always rolls forward: the gate "
-                         "compares consecutive runs)")
+                    help="roll the baseline forward from the current "
+                         "records (the gate compares consecutive runs); "
+                         "in enforcing mode this happens only after the "
+                         "whole gate passed")
+    ap.add_argument("--append-history", type=Path, default=None,
+                    metavar="FILE",
+                    help="append one JSON line per record to this "
+                         "trajectory log (pass or fail)")
     args = ap.parse_args(argv)
 
-    failed = False
+    enforcing = not args.quick
+    results: list[tuple[Path, bool, list[str]]] = []
     for path in args.records:
         if not path.exists():
             print(f"bench_gate: {path} not found "
                   "(benchmark not run?) — skipping")
             continue
         had_baseline, problems = gate_file(
-            path, args.baseline_dir, args.threshold, args.update_baseline,
-            enforcing=not args.quick)
+            path, args.baseline_dir, args.threshold)
+        results.append((path, had_baseline, problems))
+        if args.append_history is not None:
+            append_history(args.append_history, path, had_baseline,
+                           problems)
+
+    failed = any(problems for _, _, problems in results)
+
+    # Baseline semantics: compare against the *previous run*, so in
+    # informational (--quick) mode always roll forward — keeping a
+    # lucky-fast baseline would ratchet and report regressions forever
+    # on normal run-to-run noise.  In enforcing mode a FAILED gate must
+    # NOT write ANY baseline: the CI cache uploads whatever is on disk
+    # even when the job fails, so a per-file or pre-gate update would
+    # make the regressed run its own baseline and the failure would
+    # self-heal on a plain re-run.
+    update = args.update_baseline and (not failed or not enforcing)
+    for path, had_baseline, problems in results:
+        if update:
+            args.baseline_dir.mkdir(parents=True, exist_ok=True)
+            shutil.copy(path, args.baseline_dir / path.name)
         if not had_baseline:
-            seeded = " (baseline seeded)" if args.update_baseline else ""
+            seeded = " (baseline seeded)" if update else ""
             print(f"bench_gate: {path.name}: no baseline yet{seeded} — pass")
         elif not problems:
             print(f"bench_gate: {path.name}: within "
@@ -116,7 +164,9 @@ def main(argv=None) -> int:
         else:
             for p in problems:
                 print(f"bench_gate: {path.name}: {p}")
-            failed = True
+    if failed and enforcing and args.update_baseline:
+        print("bench_gate: gate failed — baselines left untouched "
+              "(a failed run must not become its own baseline)")
     if failed and args.quick:
         print("bench_gate: regressions found, but --quick runs are "
               "informational (short trials are too noisy to gate on)")

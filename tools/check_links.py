@@ -4,14 +4,18 @@
 Scans ``README.md`` and ``docs/*.md`` (or any paths given on the
 command line) for inline markdown links, resolves every relative
 target against the containing file, and exits non-zero listing the
-targets that do not exist.  Anchors are checked too: ``file.md#section``
-must match a heading slug in the target file (GitHub slug rules:
-lowercase, punctuation stripped, spaces to hyphens).  External links
-(``http(s)://``, ``mailto:``) are skipped — CI must not depend on the
-network.  Fenced code blocks are stripped first so link-shaped code
-examples cannot false-positive.
+targets that do not exist.  Anchors are checked too — both
+cross-document (``file.md#section``) and intra-document
+(``#section``): the anchor must match a heading slug in the target
+file (GitHub slug rules: lowercase, punctuation stripped, spaces to
+hyphens, and repeated headings suffixed ``-1``, ``-2``, …) or an
+explicit HTML anchor (``<a id="...">`` / ``<a name="...">``).
+External links (``http(s)://``, ``mailto:``) are skipped — CI must not
+depend on the network.  Fenced code blocks are stripped first so
+link-shaped code examples cannot false-positive.
 
-Used by CI (see ``.github/workflows/ci.yml``); run locally with::
+Used by CI's lint job (see ``.github/workflows/ci.yml``); run locally
+with::
 
     python tools/check_links.py
 """
@@ -25,6 +29,7 @@ from pathlib import Path
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
 HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+HTML_ANCHOR = re.compile(r"<a\s+(?:id|name)=[\"']([^\"']+)[\"']")
 
 
 def slugify(heading: str) -> str:
@@ -35,8 +40,17 @@ def slugify(heading: str) -> str:
 
 
 def heading_slugs(md_path: Path) -> set:
+    """Every anchor the file defines: heading slugs (with GitHub's
+    ``-N`` suffixes for repeated headings) plus explicit HTML anchors."""
     text = FENCE.sub("", md_path.read_text(encoding="utf-8"))
-    return {slugify(h) for h in HEADING.findall(text)}
+    slugs, seen = set(), {}
+    for heading in HEADING.findall(text):
+        slug = slugify(heading)
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    slugs.update(HTML_ANCHOR.findall(text))
+    return slugs
 
 
 def check_file(md_path: Path) -> list:
