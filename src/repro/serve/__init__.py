@@ -13,6 +13,11 @@ that converts per-call speed into system throughput:
   queues, explicit shed-with-retry-after backpressure, and the
   control plane: a dynamic worker set plus zero-downtime versioned
   deploys (``EngineWorkerPool.deploy``);
+- :mod:`repro.serve.procpool` — the ``backend="process"`` execution
+  tier: each replica's engine in a child process (weights + compiled
+  plans shipped once, arena in shared memory, per-batch traffic as
+  shared-memory descriptors), escaping the GIL the thread backend
+  serialises on;
 - :mod:`repro.serve.autoscale` — load-adaptive ``AutoScaler`` growing
   and shrinking the live worker count between bounds;
 - :mod:`repro.serve.server` — routes plain, ensemble, and hybrid
@@ -38,6 +43,12 @@ from .pool import (
     PoolSaturated,
     RoundRobinRouter,
     Router,
+)
+from .procpool import (
+    ProcessWorker,
+    ProcessWorkerDied,
+    ProcessWorkerError,
+    ShmArena,
 )
 from .scheduler import (
     BatchRecord,
@@ -67,6 +78,10 @@ __all__ = [
     "PoolEvent",
     "EngineVersion",
     "DeploymentError",
+    "ProcessWorker",
+    "ProcessWorkerError",
+    "ProcessWorkerDied",
+    "ShmArena",
     "AutoScaler",
     "LoadSample",
     "ScaleEvent",

@@ -37,6 +37,16 @@ thread-local, so sharing one :class:`~repro.workflow.engine.ForecastEngine`
 across workers is safe (on multi-core hosts NumPy releases the GIL in
 its kernels, which is where the parallel speedup comes from).
 
+Where the GIL *does* bind — the pure-NumPy backend spends real time in
+Python between kernels — the pool offers ``backend="process"``: each
+replica's engine runs in a child process behind a
+:class:`~repro.serve.procpool.ProcessWorker` (weights and compiled
+plans shipped once at spawn, per-batch traffic through shared-memory
+descriptors), so replicas scale with cores instead of contending for
+one.  The executor is the only thing that changes; routing, admission,
+versioned deploys and autoscaling above it are backend-agnostic, and
+results stay bitwise-identical to the direct engine call.
+
 On top of the data plane, the pool is also the serving **control
 plane** (PR 5): the live worker set is dynamic (:meth:`~EngineWorkerPool.add_worker`
 / :meth:`~EngineWorkerPool.remove_worker`, which the load-adaptive
@@ -63,6 +73,7 @@ import numpy as np
 
 from ..hpc.serving import ServingCapacityModel
 from ..workflow.engine import FieldWindow, ForecastResult
+from .procpool import ProcessWorker
 from .scheduler import MicroBatchScheduler, ServedFuture, ServeMetrics
 
 __all__ = [
@@ -270,13 +281,24 @@ class PoolEvent:
     detail: str = ""
 
 
-@dataclass
+@dataclass(eq=False)
 class _Worker:
-    """One replica: its scheduler plus the pool's admission counters."""
+    """One replica: its scheduler plus the pool's admission counters.
+
+    ``engine`` is the source batch executor the replica serves;
+    ``executor`` is what its scheduler actually drives — the same
+    object for the thread backend, a
+    :class:`~repro.serve.procpool.ProcessWorker` wrapping ``engine``
+    for the process backend (the pool owns and closes the wrapper; the
+    engine belongs to the caller).
+    """
 
     worker_id: int
     scheduler: MicroBatchScheduler
     version: int = 1             # EngineVersion that this replica serves
+    engine: object = None        # source executor (caller-owned)
+    executor: object = None      # what the scheduler drives (pool-owned
+    #                              when it differs from engine)
     draining: bool = False       # no longer admissible; being retired
     outstanding: int = 0         # admitted, not yet completed
     submitted: int = 0           # admitted ever
@@ -367,6 +389,19 @@ class PoolMetrics:
     def engine_seconds(self) -> float:
         return sum(b.seconds for m in self.per_worker for b in m.batches)
 
+    @property
+    def ipc_wait_s(self) -> float:
+        """Total IPC overhead across every process-backed replica ever
+        (batch round-trip minus child engine time); 0.0 for a pure
+        thread pool."""
+        return sum(m.ipc_wait_s for m in self.per_worker)
+
+    @property
+    def marshal_bytes(self) -> int:
+        """Total bytes moved through the shared-memory transport
+        (requests out + results back); 0 for a pure thread pool."""
+        return sum(m.marshal_bytes for m in self.per_worker)
+
     def _pooled_latencies(self) -> List[float]:
         return [r.latency_seconds for m in self.per_worker
                 for r in m.requests]
@@ -422,6 +457,9 @@ class PoolMetrics:
             "latency_p95_ms": 1e3 * self.latency_percentile(95),
             "queue_p50_ms": 1e3 * self.queue_percentile(50),
             "engine_seconds": self.engine_seconds,
+            "ipc_wait_s": self.ipc_wait_s,
+            "marshal_bytes": self.marshal_bytes,
+            "spawn_seconds_mean": self._pool.mean_spawn_seconds,
         }
 
 
@@ -453,6 +491,21 @@ class EngineWorkerPool:
         :class:`~repro.workflow.engine.ForecastEngine` share its plan
         cache, so the trace happens once per distinct engine); see
         :class:`~repro.serve.scheduler.MicroBatchScheduler`.
+    backend: where replicas execute.  ``"thread"`` (default) runs every
+        replica in-process — cheap replicas, but on the pure-NumPy
+        backend they all serialise on the GIL.  ``"process"`` wraps
+        each replica's engine in a
+        :class:`~repro.serve.procpool.ProcessWorker`: a child process
+        holding its own copy of the weights and compiled plans (arena
+        in shared memory), so replicas genuinely run in parallel.
+        Results are bitwise-identical either way; everything above the
+        executor — routing, admission, versioned deploys, autoscaling —
+        is backend-agnostic.  Requires engines that expose
+        ``model``/``normalizer``/``boundary_width`` (i.e. real
+        :class:`~repro.workflow.engine.ForecastEngine` replicas).
+    mp_context: multiprocessing start method for the process backend
+        (default ``"spawn"``; see
+        :class:`~repro.serve.procpool.ProcessWorker`).
 
     Thread safety: :meth:`submit` and :meth:`forecast_batch` may be
     called from any number of client threads; routing state is guarded
@@ -467,7 +520,8 @@ class EngineWorkerPool:
                  max_batch: int = 8, max_wait: float = 0.005,
                  max_queue: int = 32,
                  router: Union[str, Router] = "least-outstanding",
-                 autostart: bool = True, warm_plans: bool = False):
+                 autostart: bool = True, warm_plans: bool = False,
+                 backend: str = "thread", mp_context: str = "spawn"):
         if hasattr(engines, "forecast_batch"):
             engines = [engines]
         engines = list(engines)
@@ -499,6 +553,12 @@ class EngineWorkerPool:
         self._max_batch = int(max_batch)
         self._max_wait = float(max_wait)
         self._warm_plans = bool(warm_plans)
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown backend {backend!r}; use 'thread' or 'process'")
+        self.backend = backend
+        self._mp_context = mp_context
+        self._spawn_log: List[float] = []
         distinct = []
         for e in engines:
             if not any(e is d for d in distinct):
@@ -508,14 +568,19 @@ class EngineWorkerPool:
         self.current_version = 1
         self.events: List[PoolEvent] = []
         self._retired: List[_Worker] = []
-        self._next_worker_id = len(engines)
-        self.workers: Tuple[_Worker, ...] = tuple(
-            _Worker(i, MicroBatchScheduler(engine, max_batch=max_batch,
-                                           max_wait=max_wait,
-                                           autostart=autostart,
-                                           warm_plans=warm_plans),
-                    version=1)
-            for i, engine in enumerate(engines))
+        self._next_worker_id = 0
+        workers = []
+        try:
+            for engine in engines:
+                workers.append(self._make_worker(engine, version=1))
+        except BaseException:
+            # a failed spawn must not leak the children (and their shm
+            # segments) of the replicas already constructed
+            for w in workers:
+                w.scheduler.close()
+                self._close_executor(w)
+            raise
+        self.workers: Tuple[_Worker, ...] = tuple(workers)
         self.metrics = PoolMetrics(self)
 
     def _all_workers(self) -> List[_Worker]:
@@ -524,18 +589,35 @@ class EngineWorkerPool:
             return list(self.workers) + list(self._retired)
 
     def plan_stats(self) -> Dict[int, Dict]:
-        """Per-distinct-engine plan-cache counters (replicas sharing
-        one engine share its cache; keys are replica ids of the first
-        worker using each engine)."""
+        """Per-distinct-executor plan-cache counters.
+
+        Thread backend: replicas sharing one engine share its cache, so
+        keys are the replica ids of the first worker using each engine.
+        Process backend: every replica has its own child (its own plan
+        cache and arena), so every live worker reports — including the
+        shm transport's ``transport`` counters (``ipc_wait_s``,
+        ``marshal_bytes``, spawn cost).
+        """
         seen: Dict[int, Dict] = {}
         ids = set()
         for w in self.workers:
-            engine = w.scheduler.engine
-            if id(engine) in ids or not hasattr(engine, "plan_stats"):
+            target = w.executor if w.executor is not None \
+                else w.scheduler.engine
+            if id(target) in ids or not hasattr(target, "plan_stats"):
                 continue
-            ids.add(id(engine))
-            seen[w.worker_id] = engine.plan_stats()
+            ids.add(id(target))
+            seen[w.worker_id] = target.plan_stats()
         return seen
+
+    @property
+    def mean_spawn_seconds(self) -> float:
+        """Mean wall-clock to spawn + warm one process replica (0.0 for
+        the thread backend, whose replicas are just objects).  The
+        autoscaler reads this to stretch its scale-down hysteresis when
+        replicas are expensive to bring back."""
+        with self._route_lock:
+            log = list(self._spawn_log)
+        return sum(log) / len(log) if log else 0.0
 
     @property
     def n_workers(self) -> int:
@@ -699,15 +781,82 @@ class EngineWorkerPool:
 
     # -- control plane: topology ----------------------------------------
     def _make_worker(self, engine, version: int) -> _Worker:
-        """Construct one fully-warmed replica (not yet routable)."""
+        """Construct one fully-warmed replica (not yet routable).
+
+        Process backend: the engine is wrapped in a
+        :class:`~repro.serve.procpool.ProcessWorker` whose child is
+        spawned, warmed (every plan already compiled on the engine
+        ships with the payload, plus ``max_batch`` when the pool warms
+        plans) and handshaken *here* — before the replica can become
+        routable — so traffic never reaches a cold or half-born child.
+        """
         warm = self._warm_plans and hasattr(engine, "compile")
+        executor = engine
+        if self.backend == "process":
+            executor = ProcessWorker(
+                engine,
+                warm_batches=(self._max_batch,) if warm else (),
+                mp_context=self._mp_context)
+            with self._route_lock:
+                self._spawn_log.append(executor.spawn_seconds)
         scheduler = MicroBatchScheduler(
-            engine, max_batch=self._max_batch, max_wait=self._max_wait,
+            executor, max_batch=self._max_batch, max_wait=self._max_wait,
             autostart=not self._manual, warm_plans=warm)
         with self._route_lock:
             worker_id = self._next_worker_id
             self._next_worker_id += 1
-        return _Worker(worker_id, scheduler, version=version)
+        worker = _Worker(worker_id, scheduler, version=version,
+                         engine=engine, executor=executor)
+        if executor is not engine:
+            executor.on_death = \
+                lambda _pw, w=worker: self._on_executor_death(w)
+        return worker
+
+    def _close_executor(self, worker: _Worker) -> None:
+        """Tear down a pool-owned executor wrapper (the child process
+        and its shared-memory segments); caller-owned engines are left
+        alone.  Always called *after* the worker's scheduler closed —
+        by then every queued request was served or failed, so nothing
+        can still need the executor."""
+        if worker.executor is not None \
+                and worker.executor is not worker.engine:
+            worker.executor.close()
+
+    def _on_executor_death(self, worker: _Worker) -> None:
+        """A process replica's child died.  Runs on whatever thread hit
+        the dead transport — typically the worker's own scheduler
+        thread, mid-``_run_batch`` — so it only flags the replica
+        inadmissible (cheap, under the routing lock) and hands the
+        blocking retirement to a helper thread; closing the scheduler
+        inline would self-join the thread we are standing on."""
+        with self._route_lock:
+            if self._closed or worker.draining \
+                    or not any(w is worker for w in self.workers):
+                return
+            worker.draining = True
+            self.events.append(PoolEvent(
+                "worker-death", time.time(), len(self.workers),
+                worker.version,
+                f"worker {worker.worker_id} child process died"))
+        threading.Thread(
+            target=self._retire_dead_worker, args=(worker,),
+            name=f"retire-worker-{worker.worker_id}", daemon=True).start()
+
+    def _retire_dead_worker(self, worker: _Worker) -> None:
+        # the executor is already dead, so close() fails any backlog
+        # fast instead of serving it — failed futures, never hangs
+        worker.scheduler.close()
+        self._close_executor(worker)
+        with self._route_lock:
+            if any(w is worker for w in self.workers):
+                self.workers = tuple(w for w in self.workers
+                                     if w is not worker)
+                self._retired.append(worker)
+                self.events.append(PoolEvent(
+                    "worker-retired", time.time(), len(self.workers),
+                    worker.version,
+                    f"worker {worker.worker_id} retired after child "
+                    "death"))
 
     def add_worker(self, engine=None, version: Optional[int] = None,
                    kind: str = "scale-up", detail: str = "") -> _Worker:
@@ -764,8 +913,12 @@ class EngineWorkerPool:
                     raise ValueError(
                         "cannot remove the last admissible replica")
                 worker.draining = True
-            # outside the routing lock: completion callbacks need it
+            # outside the routing lock: completion callbacks need it.
+            # Scheduler first (drains or fails every admitted request),
+            # executor second — a process child and its shm segments
+            # are reclaimed only once nothing can still reach them
             worker.scheduler.close()
+            self._close_executor(worker)
             with self._route_lock:
                 self.workers = tuple(w for w in self.workers
                                      if w is not worker)
@@ -838,8 +991,7 @@ class EngineWorkerPool:
                 sizes = set()
                 for w in old_workers:
                     sizes.update(
-                        getattr(w.scheduler.engine, "compiled_batches",
-                                None) or [])
+                        getattr(w.engine, "compiled_batches", None) or [])
                 if self._warm_plans or explicit_warm:
                     sizes.add(self._max_batch)
                 try:
@@ -874,7 +1026,7 @@ class EngineWorkerPool:
                 # worker (their engines are intact), retire the new ones
                 for old in drained:
                     self.add_worker(
-                        old.scheduler.engine, old.version,
+                        old.engine, old.version,
                         kind="deploy-rollback",
                         detail=f"restoring worker {old.worker_id}'s engine")
                 for w in added:
@@ -898,9 +1050,9 @@ class EngineWorkerPool:
                     "deploy-done", time.time(), len(self.workers),
                     version, source))
             if clear_old_plans:
-                live = {id(w.scheduler.engine) for w in self.workers}
+                live = {id(w.engine) for w in self.workers}
                 for old in drained:
-                    retired_engine = old.scheduler.engine
+                    retired_engine = old.engine
                     if id(retired_engine) not in live \
                             and hasattr(retired_engine, "clear_plans"):
                         retired_engine.clear_plans()
@@ -924,11 +1076,17 @@ class EngineWorkerPool:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        """Stop admission, serve every replica's backlog, join workers."""
+        """Stop admission, serve every replica's backlog, join workers.
+
+        Schedulers close first (drain-or-fail every queued request),
+        then the process backend's executors — children stopped, every
+        shared-memory segment unlinked."""
         with self._route_lock:
             self._closed = True
         for w in self.workers:
             w.scheduler.close()
+        for w in self.workers:
+            self._close_executor(w)
 
     def __enter__(self) -> "EngineWorkerPool":
         return self

@@ -165,6 +165,14 @@ class ServeMetrics:
 
     batches: List[BatchRecord] = field(default_factory=list)
     requests: List[RequestRecord] = field(default_factory=list)
+    #: cumulative IPC overhead [s] when the executor runs out of
+    #: process (:class:`~repro.serve.procpool.ProcessWorker`): batch
+    #: round-trip wall-clock minus the child-reported engine time.
+    #: Stays 0.0 for in-process executors.
+    ipc_wait_s: float = 0.0
+    #: cumulative bytes marshalled through the shared-memory transport
+    #: (request fields out + result fields back); 0 for in-process.
+    marshal_bytes: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -224,6 +232,8 @@ class ServeMetrics:
             "latency_p95_ms": 1e3 * self.latency_percentile(95),
             "queue_p50_ms": 1e3 * self.queue_percentile(50),
             "engine_seconds": sum(b.seconds for b in self.batches),
+            "ipc_wait_s": self.ipc_wait_s,
+            "marshal_bytes": self.marshal_bytes,
         }
 
 
@@ -370,7 +380,17 @@ class MicroBatchScheduler:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        """Stop accepting requests, serve the backlog, join the worker."""
+        """Stop accepting requests, serve the backlog, join the worker.
+
+        Every queued request is drained **or failed** before this
+        returns — nothing is left pending, so the executor behind the
+        scheduler may be torn down immediately afterwards.  The
+        guarantee holds even when the executor itself is broken: a
+        process-backed executor whose child died mid-flush raises on
+        every remaining micro-batch, which *fails* those futures
+        (:meth:`_run_batch` catches the error per batch) instead of
+        hanging their waiters.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -433,6 +453,16 @@ class MicroBatchScheduler:
         done = time.perf_counter()
         compiled = failure is None and bool(results) and \
             getattr(results[0], "compiled", False)
+        transport = getattr(self.engine, "transport_stats", None)
+        if transport is not None:
+            # process-backed executors keep cumulative counters; mirror
+            # them (absolute, not incremental) into the metrics log
+            try:
+                stats = transport()
+                self.metrics.ipc_wait_s = float(stats["ipc_wait_s"])
+                self.metrics.marshal_bytes = int(stats["marshal_bytes"])
+            except Exception:    # noqa: BLE001 — metrics must not fail a batch
+                pass
         with self._lock:
             index = self._n_batches
             self._n_batches += 1

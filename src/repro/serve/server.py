@@ -89,6 +89,11 @@ class ForecastServer:
         The default (``None``) warms exactly when every engine supports
         ``compile`` — i.e. real
         :class:`~repro.workflow.engine.ForecastEngine` replicas.
+    backend, mp_context: replica execution tier —
+        ``backend="process"`` runs each replica's engine in a child
+        process behind shared-memory transport, escaping the GIL (see
+        :class:`~repro.serve.pool.EngineWorkerPool` and
+        ``docs/serving.md``).  Default stays ``"thread"``.
 
     Thread safety: every public method may be called concurrently from
     any number of client threads.
@@ -102,7 +107,8 @@ class ForecastServer:
                  workers: Optional[int] = None,
                  router: Union[str, Router] = "least-outstanding",
                  max_queue: int = 32,
-                 warm_plans: Optional[bool] = None):
+                 warm_plans: Optional[bool] = None,
+                 backend: str = "thread", mp_context: str = "spawn"):
         if warm_plans is None:
             candidates = engine if isinstance(engine, (list, tuple)) \
                 else [engine]
@@ -110,7 +116,8 @@ class ForecastServer:
         self.pool = EngineWorkerPool(engine, replicas=workers,
                                      max_batch=max_batch, max_wait=max_wait,
                                      max_queue=max_queue, router=router,
-                                     warm_plans=warm_plans)
+                                     warm_plans=warm_plans,
+                                     backend=backend, mp_context=mp_context)
         self.cache = ForecastCache(cache_bytes) if cache_bytes > 0 else None
         self.ocean = ocean
         self.verifier = verifier
@@ -281,8 +288,8 @@ class ForecastServer:
             source = source or f"deploy({type(engine).__name__})"
         else:
             template = next(
-                (w.scheduler.engine for w in self.pool.workers
-                 if hasattr(w.scheduler.engine, "with_model")), None)
+                (w.engine for w in self.pool.workers
+                 if hasattr(w.engine, "with_model")), None)
             if template is None:
                 raise ValueError(
                     "deploying a bare model or checkpoint needs a "

@@ -52,7 +52,9 @@ grad-mode switches are bound at import time through
 
 from __future__ import annotations
 
+import importlib
 import os
+import pickle
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -320,6 +322,80 @@ class ExecutionPlan:
         self.step_releases = [tuple(by_step.get(i, ()))
                               for i in range(len(self.steps))]
 
+    # -- serialisation --------------------------------------------------
+    # A plan is a *description* — flat step list, slot specs, baked
+    # constants, the arena offset assignment — plus per-step kernel
+    # function references.  The functions are registry closures
+    # (unpicklable, and process-local anyway), so pickling ships each
+    # step by its registered kernel NAME and rebinds the function from
+    # the receiving process's registry.  Live buffers never travel:
+    # arena blobs belong to PlanExecutors, which hold plans but are not
+    # part of them.  Constants (folded weights, masks, tables) DO
+    # travel — they are the baked state a worker process needs — and
+    # pickling preserves their float bits exactly, so a round-tripped
+    # plan replays bitwise-identical to the original.
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "slots": self.slots,
+            "steps": [(s.name, s.kind, s.out, s.ins, s.consts, s.rowwise)
+                      for s in self.steps],
+            "inputs": self.inputs,
+            "outputs": self.outputs,
+            "const_arrays": self.const_arrays,
+            "arena_total": self.arena_total,
+            "step_releases": self.step_releases,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        _ensure_kernels_registered()
+        steps = []
+        for name, kind, out, ins, consts, rowwise in state["steps"]:
+            kernel = KERNELS.get(name)
+            if kernel is None:
+                raise TraceError(
+                    f"cannot deserialize plan: kernel {name!r} is not "
+                    "registered in this process (import the module that "
+                    "registers it before loading the plan)")
+            steps.append(Step(name, kernel.fn, kind, out, ins, consts,
+                              rowwise))
+        self.slots = state["slots"]
+        self.steps = steps
+        self.inputs = state["inputs"]
+        self.outputs = state["outputs"]
+        self.const_arrays = state["const_arrays"]
+        self.arena_total = state["arena_total"]
+        self.step_releases = state["step_releases"]
+
+    def to_bytes(self) -> bytes:
+        """Serialize the plan (steps by kernel name, constants by
+        value, no live arena blobs) for a worker process or disk."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "ExecutionPlan":
+        """Inverse of :meth:`to_bytes`; replays bitwise-identical."""
+        plan = pickle.loads(blob)
+        if not isinstance(plan, ExecutionPlan):
+            raise TraceError(
+                f"from_bytes: expected an ExecutionPlan, got "
+                f"{type(plan).__name__}")
+        return plan
+
+
+def _ensure_kernels_registered() -> None:
+    """Import every module that registers kernels (idempotent).
+
+    Deserialising a plan needs the full registry; in a fresh worker
+    process only this module's generic kernels exist until the conv and
+    fused-NN modules have been imported.
+    """
+    for mod in ("repro.tensor", "repro.nn.layers", "repro.nn.attention"):
+        try:
+            importlib.import_module(mod)
+        except ImportError:
+            pass
+
 
 # ----------------------------------------------------------------------
 # builder
@@ -579,6 +655,12 @@ class BufferArena:
                 return self._free.pop(fit)
             self.allocations += 1
             self.allocated_bytes += nbytes
+        return self._alloc(nbytes)
+
+    def _alloc(self, nbytes: int) -> np.ndarray:
+        """Allocate one fresh blob; subclasses override to place blobs
+        in alternative storage (e.g. a shared-memory segment — see
+        :class:`repro.serve.procpool.ShmArena`)."""
         return np.empty(nbytes, np.uint8)
 
     def give(self, blob: np.ndarray) -> None:

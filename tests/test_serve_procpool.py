@@ -1,0 +1,371 @@
+"""Process execution tier: equivalence, failure model, shm lifecycle.
+
+The process backend must be invisible from above: results bitwise-equal
+to the direct engine call for every routing policy (including across a
+live deploy), child death surfacing as failed futures plus worker
+retirement (never a hang), and every shared-memory segment unlinked on
+retirement, rollback, and abnormal death.  Children cost ~1s each to
+spawn on this host, so tests share engines and keep pools narrow.
+"""
+
+import os
+import signal
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DeploymentError,
+    EngineWorkerPool,
+    ProcessWorker,
+    ProcessWorkerDied,
+)
+from repro.serve.autoscale import AutoScaler
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.tensor.plan import BufferArena, ExecutionPlan, PlanExecutor, trace
+
+from test_serve_scheduler import (          # noqa: F401 — shared fixtures
+    assert_windows_equal,
+    engine,
+    windows,
+)
+
+# the satellite leak requirement: any resource_tracker or cleanup
+# UserWarning raised during these tests is a failure, not noise
+pytestmark = pytest.mark.filterwarnings("error::UserWarning")
+
+
+def segments_alive(names):
+    """Which of the shm segment names still exist on this host."""
+    return [n for n in names if os.path.exists(f"/dev/shm/{n}")]
+
+
+def assert_results_equal(a, b):
+    for ra, rb in zip(a, b):
+        assert_windows_equal(ra.fields, rb.fields)
+
+
+def second_model(engine):
+    """A same-shape model with different weights (fresh init seed)."""
+    return type(engine.model)(replace(engine.model.config, seed=99))
+
+
+# ----------------------------------------------------------------------
+# plan serialisation (the layer the transport is built on)
+# ----------------------------------------------------------------------
+class TestPlanPickle:
+    def test_roundtrip_replays_bitwise(self, engine):
+        plan = engine.compile(2).plan
+        clone = ExecutionPlan.from_bytes(plan.to_bytes())
+        assert clone.n_steps == plan.n_steps
+        assert clone.arena_total == plan.arena_total
+        assert [s.name for s in clone.steps] == [s.name for s in plan.steps]
+        r = np.random.default_rng(7)
+        args = tuple(r.normal(size=s).astype(np.float32)
+                     for s in engine._input_shapes(2))
+        out_a = PlanExecutor(plan, BufferArena()).run(args)
+        out_b = PlanExecutor(clone, BufferArena()).run(args)
+        for x, y in zip(out_a, out_b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_roundtrip_excludes_live_buffers(self, engine):
+        plan = engine.compile(2).plan
+        # the blob ships the description and baked constants, never the
+        # arena: its size is bounded by constants + step metadata, well
+        # under what including the buffers would cost
+        assert len(plan.to_bytes()) < plan.const_bytes() \
+            + plan.arena_bytes() // 2
+
+    def test_unknown_kernel_rejected(self):
+        plan, _ = trace(lambda a: a + a, (np.ones((2, 2), np.float32),))
+        state = plan.__getstate__()
+        state["steps"] = [("no-such-kernel",) + s[1:]
+                         for s in state["steps"]]
+        fresh = ExecutionPlan.__new__(ExecutionPlan)
+        with pytest.raises(Exception, match="not registered"):
+            fresh.__setstate__(state)
+
+
+# ----------------------------------------------------------------------
+# single worker: transport equivalence
+# ----------------------------------------------------------------------
+class TestProcessWorker:
+    def test_bitwise_equal_and_lifecycle(self, engine, windows):
+        direct_eager = engine.forecast_batch(windows[:5])
+        direct_plan = engine.forecast_batch(windows[:2])
+        with ProcessWorker(engine, warm_batches=(2,)) as worker:
+            assert worker.time_steps == engine.time_steps
+            assert 2 in worker.compiled_batches
+            # eager fallback (batch size without a plan): same numbers
+            served = worker.forecast_batch(windows[:5])
+            assert_results_equal(direct_eager, served)
+            assert not served[0].compiled
+            # compiled path: same numbers, flagged compiled
+            served = worker.forecast_batch(windows[:2])
+            assert_results_equal(direct_plan, served)
+            assert served[0].compiled
+            # the transport is observable: bytes moved, overhead timed
+            stats = worker.transport_stats()
+            assert stats["batches"] == 2
+            assert stats["marshal_bytes"] > 0
+            assert stats["ipc_wait_s"] > 0
+            assert stats["spawn_seconds"] > 0
+            names = worker.segment_names()
+            assert segments_alive(names), "expected live segments"
+        # graceful close unlinks every segment of the pair
+        assert segments_alive(names) == []
+
+    def test_child_compile_rpc(self, engine, windows):
+        with ProcessWorker(engine) as worker:
+            assert worker.compiled_batches == engine.compiled_batches
+            worker.compile(3)
+            assert 3 in worker.compiled_batches
+            served = worker.forecast_batch(windows[:3])
+            assert served[0].compiled
+            assert_results_equal(engine.forecast_batch(windows[:3]),
+                                 served)
+            stats = worker.plan_stats()
+            assert 3 in stats["batches"]
+            assert stats["transport"]["backend"] == "process"
+
+    def test_needs_a_real_engine(self):
+        class NotAnEngine:
+            time_steps = 4
+
+        with pytest.raises(TypeError, match="ForecastEngine-like"):
+            ProcessWorker(NotAnEngine())
+
+    def test_killed_child_raises_not_hangs(self, engine, windows):
+        worker = ProcessWorker(engine)
+        os.kill(worker.pid, signal.SIGKILL)
+        with pytest.raises(ProcessWorkerDied):
+            worker.forecast_batch(windows[:2])
+        assert not worker.alive
+        names = worker.segment_names()
+        # every subsequent batch fails fast, no transport attempt
+        with pytest.raises(ProcessWorkerDied):
+            worker.forecast_batch(windows[:2])
+        worker.close()
+        # the dead child could not unlink its arena; the parent did
+        assert segments_alive(names) == []
+
+    def test_death_callback_fires_once(self, engine, windows):
+        deaths = []
+        worker = ProcessWorker(engine, on_death=deaths.append)
+        os.kill(worker.pid, signal.SIGKILL)
+        for _ in range(2):
+            with pytest.raises(ProcessWorkerDied):
+                worker.forecast_batch(windows[:1])
+        assert deaths == [worker]
+        worker.close()
+
+
+# ----------------------------------------------------------------------
+# scheduler integration: shutdown ordering under a dead executor
+# ----------------------------------------------------------------------
+class TestSchedulerShutdown:
+    def test_close_fails_backlog_of_dead_child(self, engine, windows):
+        """Regression: a queued request must never hang when the
+        process executor dies before its batch runs — close() fails it
+        instead of abandoning it."""
+        worker = ProcessWorker(engine)
+        scheduler = MicroBatchScheduler(worker, max_batch=2,
+                                        autostart=False)
+        futures = [scheduler.submit(w) for w in windows[:4]]
+        os.kill(worker.pid, signal.SIGKILL)
+        t0 = time.perf_counter()
+        scheduler.close()        # must drain-or-fail, not hang
+        assert time.perf_counter() - t0 < 30
+        for fut in futures:
+            assert fut.done()
+            with pytest.raises(ProcessWorkerDied):
+                fut.result(timeout=0)
+        assert scheduler.metrics.n_failed_batches == 2
+        worker.close()
+
+
+# ----------------------------------------------------------------------
+# pool integration: every policy, hot swap, death, autoscaling
+# ----------------------------------------------------------------------
+def map_submissions(pool, wins, keys=None):
+    """Submit windows; returns [(future, window)] for later audit."""
+    out = []
+    for i, w in enumerate(wins):
+        fut = pool.submit(w, key=None if keys is None else keys[i])
+        out.append((fut, w))
+    return out
+
+
+def assert_pool_batches_bitwise(pool, placed, engines_by_version):
+    """Every realised micro-batch holding audited requests equals the
+    direct forecast_batch of its admitting version's engine on its
+    exact composition (batch composition matters: only the same
+    composition is bitwise-comparable)."""
+    by_placement = {(f.worker_id, f.request_id): (f, w)
+                    for f, w in placed}
+    checked = 0
+    for worker in pool._all_workers():
+        # a rolled-back version's worker served nothing auditable
+        direct_engine = engines_by_version.get(worker.version)
+        if direct_engine is None:
+            continue
+        for batch in worker.scheduler.metrics.batches:
+            keys = [(worker.worker_id, rid) for rid in batch.request_ids]
+            if batch.failed or any(k not in by_placement for k in keys):
+                continue
+            wins = [by_placement[k][1] for k in keys]
+            direct = direct_engine.forecast_batch(wins)
+            for k, d in zip(keys, direct):
+                fut = by_placement[k][0]
+                assert_windows_equal(fut.result(timeout=0).fields,
+                                     d.fields)
+                checked += 1
+    assert checked == len(placed)
+
+
+def pool_owned_segments(pool):
+    return [n for w in pool._all_workers()
+            if w.executor is not None and w.executor is not w.engine
+            for n in w.executor.segment_names()]
+
+
+@pytest.mark.parametrize("router", ["round-robin", "least-outstanding",
+                                    "key-affinity"])
+def test_pool_process_backend_bitwise(engine, windows, router):
+    with EngineWorkerPool(engine, replicas=2, max_batch=2,
+                          max_wait=10.0, autostart=False,
+                          backend="process", router=router) as pool:
+        keys = [f"scenario-{i % 3}" for i in range(len(windows))]
+        placed = map_submissions(pool, windows, keys)
+        pool.flush()
+        assert_pool_batches_bitwise(pool, placed, {1: engine})
+        summary = pool.metrics.summary()
+        assert summary["requests"] == len(windows)
+        assert summary["marshal_bytes"] > 0
+        assert summary["ipc_wait_s"] > 0
+        assert summary["spawn_seconds_mean"] > 0
+
+
+def test_pool_process_deploy_hot_swap_bitwise(engine, windows):
+    engine_v2 = engine.with_model(second_model(engine))
+    pool = EngineWorkerPool(engine, replicas=2, max_batch=2,
+                            max_wait=10.0, autostart=False,
+                            backend="process", router="round-robin")
+    try:
+        old_segments = [n for w in pool.workers
+                        for n in w.executor.segment_names()]
+        placed = map_submissions(pool, windows[:4])
+        # the deploy drains these four admitted-but-unserved requests
+        # on the version that admitted them, while surged v2 children
+        # take over the routable set
+        pool.deploy(engine_v2, source="hot-swap")
+        placed += map_submissions(pool, windows[4:8])
+        pool.flush()
+        assert_pool_batches_bitwise(pool, placed,
+                                    {1: engine, 2: engine_v2})
+        assert {f.engine_version for f, _ in placed} == {1, 2}
+        # the drained v1 replicas' children and segments are gone
+        assert segments_alive(old_segments) == []
+    finally:
+        pool.close()
+    assert segments_alive(pool_owned_segments(pool)) == []
+
+
+def test_pool_deploy_rollback_unlinks_segments(engine, windows,
+                                               monkeypatch):
+    engine_v2 = engine.with_model(second_model(engine))
+    pool = EngineWorkerPool(engine, replicas=2, max_batch=2,
+                            max_wait=10.0, autostart=False,
+                            backend="process", router="round-robin")
+    try:
+        make_worker = pool._make_worker
+        calls = {"n": 0}
+
+        def flaky(engine_, version):
+            # the roll's second surge blows up → deploy must roll back
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("surge failed")
+            return make_worker(engine_, version)
+
+        monkeypatch.setattr(pool, "_make_worker", flaky)
+        with pytest.raises(DeploymentError):
+            pool.deploy(engine_v2, source="doomed")
+        monkeypatch.setattr(pool, "_make_worker", make_worker)
+        # rolled back: version 1, two admissible replicas, still serving
+        assert pool.current_version == 1
+        assert sum(not w.draining for w in pool.workers) == 2
+        placed = map_submissions(pool, windows[:4])
+        pool.flush()
+        assert_pool_batches_bitwise(pool, placed, {1: engine})
+    finally:
+        pool.close()
+    # nothing leaked: not the surged-then-retired v2 child, not the
+    # drained v1 child, not the rollback replacement
+    assert segments_alive(pool_owned_segments(pool)) == []
+
+
+def test_pool_child_death_fails_batch_and_retires_worker(engine, windows):
+    pool = EngineWorkerPool(engine, replicas=2, max_batch=2,
+                            max_wait=10.0, autostart=False,
+                            backend="process", router="round-robin")
+    try:
+        victim = pool.workers[0]
+        victim_segments = victim.executor.segment_names()
+        futures = [pool.submit(w) for w in windows[:2]]
+        victim_futs = [f for f in futures
+                       if f.worker_id == victim.worker_id]
+        assert victim_futs, "round-robin should hit worker 0"
+        os.kill(victim.executor.pid, signal.SIGKILL)
+        pool.flush()
+        # the in-flight batch failed — explicitly, not by hanging
+        for fut in victim_futs:
+            with pytest.raises(ProcessWorkerDied):
+                fut.result(timeout=30)
+        # the pool retires the dead replica (async helper thread)
+        deadline = time.perf_counter() + 30
+        while time.perf_counter() < deadline:
+            if len(pool.workers) == 1:
+                break
+            time.sleep(0.05)
+        assert len(pool.workers) == 1
+        kinds = [e.kind for e in pool.events]
+        assert "worker-death" in kinds and "worker-retired" in kinds
+        assert segments_alive(victim_segments) == []
+        # the survivor keeps serving, bitwise
+        placed = map_submissions(pool, windows[4:8])
+        pool.flush()
+        assert_pool_batches_bitwise(pool, placed, {1: engine})
+    finally:
+        pool.close()
+
+
+def test_pool_plan_stats_per_process_worker(engine, windows):
+    with EngineWorkerPool(engine, replicas=2, max_batch=2,
+                          max_wait=10.0, autostart=False,
+                          backend="process") as pool:
+        pool.forecast_batch(windows[:4])
+        stats = pool.plan_stats()
+        # one entry per worker: process replicas don't share a cache
+        assert len(stats) == 2
+        for per_worker in stats.values():
+            assert per_worker["transport"]["backend"] == "process"
+            assert per_worker["transport"]["marshal_bytes"] > 0
+
+
+def test_autoscaler_spawn_cost_stretches_patience(engine):
+    with EngineWorkerPool(engine, replicas=1, max_batch=2,
+                          max_wait=10.0, autostart=False) as pool:
+        scaler = AutoScaler(pool, scale_down_patience=2, interval=0.25,
+                            spawn_cost_s=1.0)
+        # a 1s respawn spans 4 ticks of 0.25s: patience 2 → 6
+        assert scaler.effective_patience() == 6
+        # thread replicas are free to respawn: patience unchanged
+        free = AutoScaler(pool, scale_down_patience=2, interval=0.25)
+        assert pool.mean_spawn_seconds == 0.0
+        assert free.effective_patience() == 2
+        # default reads the pool's measured spawn cost
+        pool._spawn_log.extend([0.4, 0.6])
+        assert free.effective_patience() == 2 + 2
