@@ -23,7 +23,17 @@ uncertainty quantification", §I):
   chunked elementwise replay engages — clear ≥ 1.3× throughput at the
   serving micro-batch size.  A single-core host measures the pure
   dispatch/allocation win honestly and does not arm the speed gate
-  (same policy as ``bench_serving.py``).
+  (same policy as ``bench_serving.py``).  Since the plan-IR passes
+  (``repro.tensor.plan_passes``) the compiled column replays the
+  *fused* plan; an ``optimize_plans=False`` engine provides the
+  unfused column so the fusion win is its own number, and the pass
+  statistics (steps folded/fused/eliminated, arena bytes) land in the
+  JSON record as ``plan_pass_stats``.
+* **Bucketed partial batches**: a mixed-size request stream through an
+  engine warmed with ``compile_buckets`` must hit a compiled plan for
+  *every* batch (hit rate 1.0 — the eager-fallback bug this sweep
+  pins down), stay bitwise-identical to eager, and report the padding
+  overhead (``bucket_pad_fraction``).
 
 Run as a script (``python benchmarks/bench_batched_inference.py
 [--quick]``) this writes ``BENCH_inference.json`` — timestamped
@@ -209,21 +219,28 @@ def run_compiled_sweep(batches=(1, 2, 4, 8), repeats=5, quick=False):
     norm = Normalizer({v: 0.0 for v in ("u3", "v3", "w3", "zeta")},
                       {v: 1.0 for v in ("u3", "v3", "w3", "zeta")})
     eager = ForecastEngine(model, norm)      # never compiled
-    compiled = ForecastEngine(model, norm)   # shares the weights
+    compiled = ForecastEngine(model, norm)   # fused plans (the default)
+    unfused = ForecastEngine(model, norm, optimize_plans=False)
     out = {"batches": {}, "bitwise_equal": True}
     for n in batches:
         windows = _serving_windows(n, seed=n)
         compiled.compile(n)
+        unfused.compile(n)
         res_e = eager.forecast_batch(windows)
         res_c = compiled.forecast_batch(windows)
-        assert res_c[0].compiled and not res_e[0].compiled
-        for a, b in zip(res_e, res_c):
+        res_u = unfused.forecast_batch(windows)
+        assert res_c[0].compiled and res_u[0].compiled \
+            and not res_e[0].compiled
+        for a, b, c in zip(res_e, res_c, res_u):
             for var in ("u3", "v3", "w3", "zeta"):
-                if not np.array_equal(getattr(a.fields, var),
-                                      getattr(b.fields, var)):
+                if not (np.array_equal(getattr(a.fields, var),
+                                       getattr(b.fields, var))
+                        and np.array_equal(getattr(a.fields, var),
+                                           getattr(c.fields, var))):
                     out["bitwise_equal"] = False
         t_eager = _best_of(lambda: eager.forecast_batch(windows), repeats)
         t_comp = _best_of(lambda: compiled.forecast_batch(windows), repeats)
+        t_unf = _best_of(lambda: unfused.forecast_batch(windows), repeats)
         peak_eager = _tracemalloc_peak(
             lambda: eager.forecast_batch(windows))
         peak_comp = _tracemalloc_peak(
@@ -232,7 +249,9 @@ def run_compiled_sweep(batches=(1, 2, 4, 8), repeats=5, quick=False):
         out["batches"][n] = {
             "eager_eps": n / t_eager,
             "compiled_eps": n / t_comp,
+            "unfused_eps": n / t_unf,
             "speedup": t_eager / t_comp,
+            "fused_speedup": t_unf / t_comp,
             "eager_peak_bytes": peak_eager,
             "compiled_peak_bytes": peak_comp,
             "arena_bytes": plan.arena_bytes(),
@@ -241,23 +260,100 @@ def run_compiled_sweep(batches=(1, 2, 4, 8), repeats=5, quick=False):
             "eager_peak_model_bytes": plan.eager_peak_bytes(),
         }
     out["plan_stats"] = compiled.plan_stats()
+    out["plan_pass_stats"] = {
+        int(b): dict(s) for b, s in
+        compiled.plan_stats()["pass_stats"].items()}
     return out
+
+
+def run_bucketed_sweep(max_batch=8, rounds=3, quick=False):
+    """Mixed-size request stream against a bucket-warmed engine.
+
+    Every partial batch must land in a compiled bucket (the
+    eager-fallback bug this PR removes): hit rate 1.0, zero plan
+    misses, bitwise-identical to eager, padding overhead reported.
+    """
+    if quick:
+        max_batch, rounds = 4, 2
+    model = CoastalSurrogate(SERVING)
+    norm = Normalizer({v: 0.0 for v in ("u3", "v3", "w3", "zeta")},
+                      {v: 1.0 for v in ("u3", "v3", "w3", "zeta")})
+    eager = ForecastEngine(model, norm)
+    engine = ForecastEngine(model, norm)
+    buckets = engine.compile_buckets(max_batch)
+    bitwise = True
+    served = 0
+    for r in range(rounds):
+        for n in range(1, max_batch + 1):
+            windows = _serving_windows(n, seed=100 * r + n)
+            res = engine.forecast_batch(windows)
+            served += 1
+            if not all(x.compiled for x in res):
+                bitwise = False       # a fallback also breaks the gate
+                continue
+            want = eager.forecast_batch(windows)
+            for a, b in zip(res, want):
+                for var in ("u3", "v3", "w3", "zeta"):
+                    if not np.array_equal(getattr(a.fields, var),
+                                          getattr(b.fields, var)):
+                        bitwise = False
+    stats = engine.plan_stats()
+    return {
+        "buckets": buckets,
+        "requests": served,
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_rate": stats["hits"] / served if served else 0.0,
+        "bucket_hits": {int(k): v for k, v in
+                        stats["bucket_hits"].items()},
+        "bucket_pad_fraction": stats["bucket_pad_fraction"],
+        "bitwise_equal": bitwise,
+    }
 
 
 def _print_compiled_report(sweep):
     rows = []
     for n, m in sorted(sweep["batches"].items()):
-        rows.append([n, f"{m['eager_eps']:.2f}", f"{m['compiled_eps']:.2f}",
-                     f"{m['speedup']:.2f}x",
+        rows.append([n, f"{m['eager_eps']:.2f}", f"{m['unfused_eps']:.2f}",
+                     f"{m['compiled_eps']:.2f}",
+                     f"{m['speedup']:.2f}x", f"{m['fused_speedup']:.2f}x",
                      f"{m['eager_peak_bytes'] / 1e6:.2f}",
                      f"{m['compiled_peak_bytes'] / 1e6:.2f}",
                      f"{m['arena_bytes'] / 1e6:.2f}"])
     print(format_table(
-        ["Batch", "Eager ep/s", "Compiled ep/s", "Speedup",
-         "Eager peak MB", "Compiled peak MB", "Arena MB"],
+        ["Batch", "Eager ep/s", "Unfused ep/s", "Fused ep/s",
+         "Speedup", "Fusion gain", "Eager peak MB", "Compiled peak MB",
+         "Arena MB"],
         rows, title=f"Compiled vs eager, serving scale {SERVING.mesh}, "
                     f"T={SERVING.time_steps}"))
     print(f"bitwise compiled == eager: {sweep['bitwise_equal']}")
+    for b, ps in sorted(sweep["plan_pass_stats"].items()):
+        print(f"  batch {b}: {ps['steps_before']} -> {ps['steps_after']} "
+              f"steps ({ps['folded_steps']} folded, "
+              f"{sum(ps['fused'].values())} fused, "
+              f"{ps['dead_steps']} dead)")
+
+
+def _print_bucketed_report(sweep):
+    print(f"Bucketed partial batches: buckets {sweep['buckets']}, "
+          f"{sweep['requests']} mixed-size requests, "
+          f"hit rate {sweep['hit_rate']:.2f} "
+          f"({sweep['misses']} misses), "
+          f"pad fraction {sweep['bucket_pad_fraction']:.3f}, "
+          f"bitwise {sweep['bitwise_equal']}")
+
+
+def _check_bucketed_sweep(sweep):
+    failures = []
+    if sweep["hit_rate"] < 1.0 or sweep["misses"]:
+        failures.append(
+            f"bucketed sweep hit rate {sweep['hit_rate']:.2f} "
+            f"({sweep['misses']} misses) — partial batches fell "
+            "back to eager")
+    if not sweep["bitwise_equal"]:
+        failures.append("bucketed replay is not bitwise-identical "
+                        "to eager")
+    return failures
 
 
 def _check_compiled_sweep(sweep, quick=False):
@@ -304,6 +400,15 @@ def test_compiled_vs_eager(capsys):
     assert not failures, "; ".join(failures)
 
 
+def test_bucketed_partial_batches(capsys):
+    """100% plan hit rate and bitwise replay on a mixed-size stream."""
+    sweep = run_bucketed_sweep(quick=True)
+    with capsys.disabled():
+        print()
+        _print_bucketed_report(sweep)
+    assert not _check_bucketed_sweep(sweep)
+
+
 # ----------------------------------------------------------------------
 # script mode: machine-readable benchmark trajectory
 # ----------------------------------------------------------------------
@@ -320,11 +425,20 @@ def main(argv=None) -> int:
     _print_compiled_report(sweep)
     failures = _check_compiled_sweep(sweep, quick=args.quick)
 
+    bucketed = run_bucketed_sweep(quick=args.quick)
+    _print_bucketed_report(bucketed)
+    failures += _check_bucketed_sweep(bucketed)
+
     top = max(sweep["batches"])
     metrics = {"bitwise_equal": sweep["bitwise_equal"]}
     for n, m in sweep["batches"].items():
         for k, v in m.items():
             metrics[f"{k}_b{n}"] = v
+    # the compiled column replays the fused plan; name it explicitly so
+    # the gate entry reads as what it is
+    metrics[f"fused_eps_b{top}"] = metrics[f"compiled_eps_b{top}"]
+    metrics["bucket_hit_rate"] = bucketed["hit_rate"]
+    metrics["bucket_pad_fraction"] = bucketed["bucket_pad_fraction"]
     record = {
         "benchmark": "inference",
         "timestamp": datetime.now(timezone.utc).isoformat(),
@@ -332,10 +446,17 @@ def main(argv=None) -> int:
         "cores": os.cpu_count() or 1,
         "config": {"mesh": list(SERVING.mesh),
                    "time_steps": SERVING.time_steps,
-                   "batches": sorted(sweep["batches"])},
+                   "batches": sorted(sweep["batches"]),
+                   "buckets": list(bucketed["buckets"])},
         "metrics": metrics,
-        # tools/bench_gate.py regresses these (higher = better)
-        "gate": {"higher_better": [f"compiled_eps_b{top}"]},
+        "plan_pass_stats": sweep["plan_pass_stats"],
+        "bucketed": bucketed,
+        # tools/bench_gate.py regresses these (higher = better); the
+        # fused-plan throughput is gated the same way bench_serving
+        # gates proc_pool_sat_qps
+        "gate": {"higher_better": [f"compiled_eps_b{top}",
+                                   f"fused_eps_b{top}",
+                                   "bucket_hit_rate"]},
     }
     out_path = Path(args.out) if args.out else \
         Path(__file__).resolve().parent.parent / "BENCH_inference.json"

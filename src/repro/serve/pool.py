@@ -72,6 +72,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..hpc.serving import ServingCapacityModel
+from ..tensor import plan_passes as _passes
 from ..workflow.engine import FieldWindow, ForecastResult
 from .procpool import ProcessWorker
 from .scheduler import MicroBatchScheduler, ServedFuture, ServeMetrics
@@ -376,6 +377,30 @@ class PoolMetrics:
         return sum(m.plan_batches for m in self.per_worker)
 
     @property
+    def padded_rows(self) -> int:
+        """Pad rows added by batch-shape bucketing across every
+        replica (partial batches replaying a larger plan)."""
+        return sum(m.padded_rows for m in self.per_worker)
+
+    @property
+    def bucket_pad_fraction(self) -> float:
+        """Padded rows / rows computed, pool-wide — the forward compute
+        wasted so partial batches can hit the plan cache."""
+        computed = sum(
+            b.plan_batch if b.plan_batch is not None else b.size
+            for m in self.per_worker for b in m.batches)
+        return self.padded_rows / computed if computed else 0.0
+
+    def bucket_hits(self) -> Dict[int, int]:
+        """Micro-batches served per plan bucket (plan batch size →
+        count), summed over every replica."""
+        out: Dict[int, int] = {}
+        for m in self.per_worker:
+            for size, n in m.bucket_hits().items():
+                out[size] = out.get(size, 0) + n
+        return dict(sorted(out.items()))
+
+    @property
     def mean_occupancy(self) -> float:
         if not self.n_batches:
             return float("nan")
@@ -449,6 +474,7 @@ class PoolMetrics:
             "batches": self.n_batches,
             "failed_batches": self.n_failed_batches,
             "plan_batches": self.plan_batches,
+            "bucket_pad_fraction": self.bucket_pad_fraction,
             "shed_requests": self.shed_requests,
             "outstanding": self.outstanding,
             "mean_occupancy": self.mean_occupancy,
@@ -786,16 +812,19 @@ class EngineWorkerPool:
         Process backend: the engine is wrapped in a
         :class:`~repro.serve.procpool.ProcessWorker` whose child is
         spawned, warmed (every plan already compiled on the engine
-        ships with the payload, plus ``max_batch`` when the pool warms
-        plans) and handshaken *here* — before the replica can become
-        routable — so traffic never reaches a cold or half-born child.
+        ships with the payload, plus the whole ``max_batch`` bucket set
+        when the pool warms plans — so partial batches hit compiled
+        buckets from the first flush) and handshaken *here* — before
+        the replica can become routable — so traffic never reaches a
+        cold or half-born child.
         """
         warm = self._warm_plans and hasattr(engine, "compile")
         executor = engine
         if self.backend == "process":
             executor = ProcessWorker(
                 engine,
-                warm_batches=(self._max_batch,) if warm else (),
+                warm_batches=_passes.plan_buckets(self._max_batch)
+                if warm else (),
                 mp_context=self._mp_context)
             with self._route_lock:
                 self._spawn_log.append(executor.spawn_seconds)
@@ -993,7 +1022,9 @@ class EngineWorkerPool:
                     sizes.update(
                         getattr(w.engine, "compiled_batches", None) or [])
                 if self._warm_plans or explicit_warm:
-                    sizes.add(self._max_batch)
+                    # the whole bucket set, so partial batches keep
+                    # hitting compiled plans across the version roll
+                    sizes.update(_passes.plan_buckets(self._max_batch))
                 try:
                     for b in sorted(sizes):
                         engine.compile(b)

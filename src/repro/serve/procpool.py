@@ -293,8 +293,11 @@ def _child_main(conn, payload_bytes: bytes) -> None:
 
     payload = pickle.loads(payload_bytes)
     token = payload["token"]
-    engine = ForecastEngine(payload["model"], payload["normalizer"],
-                            payload["boundary_width"])
+    engine = ForecastEngine(
+        payload["model"], payload["normalizer"],
+        payload["boundary_width"],
+        optimize_plans=payload.get("optimize_plans", True),
+        bucket_partial=payload.get("bucket_partial", True))
     plans: Dict[int, ExecutionPlan] = payload["plans"]
     arena_bytes = max(
         [p.arena_total for p in plans.values()] + [payload["arena_hint"]])
@@ -342,9 +345,13 @@ def _child_main(conn, payload_bytes: bytes) -> None:
                         out_descs.append(tuple(wdescs))
                     conn.send(("ok", seg.name, out_descs, batch_seconds,
                                [r.inference_seconds for r in results],
-                               [r.compiled for r in results]))
+                               [r.compiled for r in results],
+                               [r.plan_batch for r in results]))
                 elif op == "compile":
                     engine.compile(msg[1])
+                    conn.send(("ok", engine.compiled_batches))
+                elif op == "compile_buckets":
+                    engine.compile_buckets(msg[1])
                     conn.send(("ok", engine.compiled_batches))
                 elif op == "plan_stats":
                     conn.send(("ok", engine.plan_stats()))
@@ -374,7 +381,8 @@ class ProcessWorker:
 
     Drop-in for a :class:`~repro.workflow.engine.ForecastEngine` where
     the serving stack is concerned (``forecast_batch`` / ``time_steps``
-    / ``compile`` / ``plan_stats``), which is exactly what lets
+    / ``compile`` / ``compile_buckets`` / ``plan_stats``), which is
+    exactly what lets
     :class:`~repro.serve.pool.EngineWorkerPool` run ``backend="process"``
     without touching the scheduler, router, or deploy machinery.
 
@@ -438,6 +446,11 @@ class ProcessWorker:
             "model": engine.model,
             "normalizer": engine.normalizer,
             "boundary_width": engine.boundary_width,
+            # plan-handling knobs mirror the parent engine so the child
+            # buckets partial batches (and optimises any plan it traces
+            # itself) exactly the way the in-process tier would
+            "optimize_plans": getattr(engine, "optimize_plans", True),
+            "bucket_partial": getattr(engine, "bucket_partial", True),
             "plans": plans,
             "arena_hint": max((p.arena_total for p in plans.values()),
                               default=0),
@@ -517,13 +530,16 @@ class ProcessWorker:
             if msg[0] == "err":
                 raise ProcessWorkerError(
                     f"worker pid {self.pid} failed a batch:\n{msg[1]}")
-            _, res_name, out_descs, batch_seconds, secs, compiled = msg
+            _, res_name, out_descs, batch_seconds, secs, compiled, \
+                plan_batches = msg
             res_seg = self._attach_response(res_name)
             results = []
-            for wdescs, sec, comp in zip(out_descs, secs, compiled):
+            for wdescs, sec, comp, pb in zip(out_descs, secs, compiled,
+                                             plan_batches):
                 fields = FieldWindow(*(_read(res_seg, d, copy=True)
                                        for d in wdescs))
-                results.append(ForecastResult(fields, sec, compiled=comp))
+                results.append(ForecastResult(fields, sec, compiled=comp,
+                                              plan_batch=pb))
                 self.marshal_bytes += sum(
                     getattr(fields, v).nbytes
                     for v in ("u3", "v3", "w3", "zeta"))
@@ -545,6 +561,25 @@ class ProcessWorker:
             if msg[0] == "err":
                 raise ProcessWorkerError(
                     f"compile({batch}) failed in worker:\n{msg[1]}")
+            self._compiled.update(msg[1])
+
+    def compile_buckets(self, max_batch: int) -> None:
+        """Have the child compile the whole
+        :func:`~repro.tensor.plan_passes.plan_buckets` set for
+        ``max_batch``, so its partial micro-batches pad into compiled
+        buckets instead of running eager."""
+        from ..tensor.plan_passes import plan_buckets
+        max_batch = int(max_batch)
+        with self._lock:
+            if set(plan_buckets(max_batch)) <= self._compiled:
+                return
+            self._ensure_alive()
+            self._send(("compile_buckets", max_batch))
+            msg = self._recv(timeout=self.request_timeout)
+            if msg[0] == "err":
+                raise ProcessWorkerError(
+                    f"compile_buckets({max_batch}) failed in worker:\n"
+                    f"{msg[1]}")
             self._compiled.update(msg[1])
 
     def plan_stats(self) -> Dict[str, object]:

@@ -142,6 +142,9 @@ class BatchRecord:
     trigger: str                 # "full" | "timeout" | "flush" | "close"
     failed: bool = False         # engine raised; its futures carry the error
     compiled: bool = False       # served by a compiled inference plan
+    #: batch size of the plan bucket that served it (= ``size`` on an
+    #: exact hit, larger when the batch padded up); ``None`` when eager
+    plan_batch: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -193,6 +196,32 @@ class ServeMetrics:
         return sum(b.compiled for b in self.batches)
 
     @property
+    def padded_rows(self) -> int:
+        """Pad rows added by batch-shape bucketing (a partial batch
+        replaying a larger plan computes ``plan_batch - size`` wasted
+        rows)."""
+        return sum(b.plan_batch - b.size for b in self.batches
+                   if b.plan_batch is not None and b.plan_batch > b.size)
+
+    @property
+    def bucket_pad_fraction(self) -> float:
+        """Padded rows / rows actually computed — how much forward
+        compute the bucket choice wastes.  0.0 means every micro-batch
+        hit a plan of exactly its size (or ran eager)."""
+        computed = sum(b.plan_batch if b.plan_batch is not None else b.size
+                       for b in self.batches)
+        return self.padded_rows / computed if computed else 0.0
+
+    def bucket_hits(self) -> Dict[int, int]:
+        """Micro-batches served per plan bucket (plan batch size →
+        count); eager batches are not counted."""
+        hist: Dict[int, int] = {}
+        for b in self.batches:
+            if b.plan_batch is not None:
+                hist[b.plan_batch] = hist.get(b.plan_batch, 0) + 1
+        return dict(sorted(hist.items()))
+
+    @property
     def mean_occupancy(self) -> float:
         if not self.batches:
             return float("nan")
@@ -226,6 +255,7 @@ class ServeMetrics:
             "batches": self.n_batches,
             "failed_batches": self.n_failed_batches,
             "plan_batches": self.plan_batches,
+            "bucket_pad_fraction": self.bucket_pad_fraction,
             "mean_occupancy": self.mean_occupancy,
             "max_occupancy": self.max_occupancy,
             "latency_p50_ms": 1e3 * self.latency_percentile(50),
@@ -252,13 +282,22 @@ class MicroBatchScheduler:
     autostart: start the worker thread (threaded mode).  With
         ``False`` the caller drives the queue via :meth:`step` /
         :meth:`flush` (manual mode — deterministic, thread-free).
-    warm_plans: compile the engine's inference plan for ``max_batch``
-        episodes at startup (requires an engine exposing ``compile``,
-        i.e. a :class:`~repro.workflow.engine.ForecastEngine`), so the
-        first saturated micro-batch replays a plan instead of paying
-        the trace.  Partial batches below ``max_batch`` fall back to
-        the (bitwise-identical) eager path unless compiled separately
-        via ``engine.compile(n)``.
+    warm_plans: compile the engine's inference plans for the whole
+        **bucket set** of ``max_batch`` at startup (requires an engine
+        exposing ``compile``, i.e. a
+        :class:`~repro.workflow.engine.ForecastEngine` or a
+        :class:`~repro.serve.procpool.ProcessWorker` proxying one) —
+        every power of two up to ``max_batch`` plus ``max_batch``
+        itself, per :func:`~repro.tensor.plan_passes.plan_buckets`.
+        After warmup **every** micro-batch replays a compiled plan: a
+        full batch hits its exact plan, a timeout/flush partial batch
+        zero-pads into the nearest larger bucket and its outputs slice
+        back (bitwise-identical to the unpadded eager run, at the cost
+        of up to just-under-2× padded rows — watch
+        ``ServeMetrics.bucket_pad_fraction``).  Engines without
+        ``compile_buckets`` warm ``max_batch`` only, and engines with
+        ``bucket_partial=False`` restore the old behaviour of running
+        non-compiled sizes eagerly.
     """
 
     def __init__(self, engine, max_batch: int = 8,
@@ -276,7 +315,10 @@ class MicroBatchScheduler:
                 raise ValueError(
                     "warm_plans=True needs an engine with compile(); "
                     f"{type(engine).__name__} has none")
-            engine.compile(self.max_batch)
+            if hasattr(engine, "compile_buckets"):
+                engine.compile_buckets(self.max_batch)
+            else:
+                engine.compile(self.max_batch)
         self.metrics = ServeMetrics()
         self._queue: Deque[_Request] = deque()
         self._lock = threading.Lock()
@@ -453,6 +495,8 @@ class MicroBatchScheduler:
         done = time.perf_counter()
         compiled = failure is None and bool(results) and \
             getattr(results[0], "compiled", False)
+        plan_batch = getattr(results[0], "plan_batch", None) \
+            if compiled else None
         transport = getattr(self.engine, "transport_stats", None)
         if transport is not None:
             # process-backed executors keep cumulative counters; mirror
@@ -470,7 +514,8 @@ class MicroBatchScheduler:
                 index=index, size=len(batch),
                 request_ids=tuple(r.future.request_id for r in batch),
                 seconds=seconds, trigger=trigger,
-                failed=failure is not None, compiled=compiled))
+                failed=failure is not None, compiled=compiled,
+                plan_batch=plan_batch))
             for req in batch:
                 self.metrics.requests.append(RequestRecord(
                     request_id=req.future.request_id, batch_index=index,

@@ -10,6 +10,10 @@ Public surface:
 * :mod:`~repro.tensor.plan` — compiled inference plans: :func:`trace`
   captures a forward as an :class:`ExecutionPlan`; a
   :class:`PlanExecutor` replays it allocation-free on raw arrays.
+* :mod:`~repro.tensor.plan_passes` — plan-IR optimisation:
+  :func:`optimize` (peephole fusion + folding + dead-step
+  elimination), :func:`plan_buckets` (batch-shape bucketing policy),
+  :func:`cast_plan` (tolerance-gated reduced-precision variants).
 """
 
 from .plan import (
@@ -19,6 +23,11 @@ from .plan import (
     TraceError,
     trace,
     tracing,
+)
+from .plan_passes import (
+    cast_plan,
+    optimize,
+    plan_buckets,
 )
 from .tensor import (
     Tensor,
@@ -61,4 +70,7 @@ __all__ = [
     "TraceError",
     "trace",
     "tracing",
+    "plan_buckets",
+    "optimize",
+    "cast_plan",
 ]

@@ -42,7 +42,18 @@ reordered — only elementwise work is chunked).
 Kernels register here for the generic tensor ops and from the modules
 that own them (:mod:`repro.tensor.ops_conv` registers the conv-GEMM
 kernels, :mod:`repro.nn.layers` / :mod:`repro.nn.attention` the fused
-inference kernels) via :func:`register_kernel`.
+inference kernels, :mod:`repro.tensor.plan_passes` the peephole-fused
+kernels its optimisation passes substitute in) via
+:func:`register_kernel`.
+
+A finalized plan is also an optimisation substrate:
+:mod:`repro.tensor.plan_passes` rewrites the step list (elementwise
+fusion, constant folding, dead-step elimination, reduced-precision
+variants) and calls :func:`repack` to re-run the liveness analysis and
+arena assignment over the rewritten program.  Fused steps may own
+*scratch* slots (``Step.scratch``): arena buffers written and read
+only inside that one step, placed by the packer with a lifetime of
+exactly that step.
 
 This module deliberately imports nothing from
 :mod:`repro.tensor.tensor` (which imports it); the Tensor type and the
@@ -72,6 +83,7 @@ __all__ = [
     "tracing",
     "trace_apply",
     "register_kernel",
+    "repack",
 ]
 
 
@@ -214,6 +226,10 @@ class Step:
     ins: Tuple[Tuple[str, int], ...]
     consts: Dict[str, Any] = field(default_factory=dict)
     rowwise: bool = False
+    #: arena slots used only inside this step (fused kernels' internal
+    #: temporaries); placed by :func:`repack` with a lifetime of
+    #: exactly this step and passed to the kernel appended to ``ins``
+    scratch: Tuple[int, ...] = ()
 
 
 class ExecutionPlan:
@@ -287,7 +303,10 @@ class ExecutionPlan:
         for i, step in enumerate(self.steps):
             if step.out in owned:
                 live += self.slots[step.out].nbytes
-                peak = max(peak, live)
+            # scratch slots are born and die inside this one step
+            scratch = sum(self.slots[s].nbytes for s in step.scratch
+                          if self.slots[s].kind in kinds)
+            peak = max(peak, live + scratch)
             for s in list(owned):
                 if last_use[s] == i:
                     live -= self.slots[s].nbytes
@@ -302,6 +321,8 @@ class ExecutionPlan:
             for tag, ref in step.ins:
                 if tag == "s":
                     group_last[self.slots[ref].root] = i
+            for sid in step.scratch:
+                group_last[self.slots[sid].root] = i
             group_last[self.slots[step.out].root] = i
         for out in self.outputs:
             group_last[self.slots[out].root] = end
@@ -338,7 +359,8 @@ class ExecutionPlan:
     def __getstate__(self) -> Dict[str, Any]:
         return {
             "slots": self.slots,
-            "steps": [(s.name, s.kind, s.out, s.ins, s.consts, s.rowwise)
+            "steps": [(s.name, s.kind, s.out, s.ins, s.consts, s.rowwise,
+                       s.scratch)
                       for s in self.steps],
             "inputs": self.inputs,
             "outputs": self.outputs,
@@ -350,7 +372,9 @@ class ExecutionPlan:
     def __setstate__(self, state: Dict[str, Any]) -> None:
         _ensure_kernels_registered()
         steps = []
-        for name, kind, out, ins, consts, rowwise in state["steps"]:
+        for rec in state["steps"]:
+            name, kind, out, ins, consts, rowwise = rec[:6]
+            scratch = tuple(rec[6]) if len(rec) > 6 else ()
             kernel = KERNELS.get(name)
             if kernel is None:
                 raise TraceError(
@@ -358,7 +382,7 @@ class ExecutionPlan:
                     "registered in this process (import the module that "
                     "registers it before loading the plan)")
             steps.append(Step(name, kernel.fn, kind, out, ins, consts,
-                              rowwise))
+                              rowwise, scratch))
         self.slots = state["slots"]
         self.steps = steps
         self.inputs = state["inputs"]
@@ -390,7 +414,8 @@ def _ensure_kernels_registered() -> None:
     process only this module's generic kernels exist until the conv and
     fused-NN modules have been imported.
     """
-    for mod in ("repro.tensor", "repro.nn.layers", "repro.nn.attention"):
+    for mod in ("repro.tensor", "repro.nn.layers", "repro.nn.attention",
+                "repro.tensor.plan_passes"):
         try:
             importlib.import_module(mod)
         except ImportError:
@@ -471,29 +496,50 @@ class PlanBuilder:
                         "would mutate caller data")
         plan = ExecutionPlan(self.slots, self.steps, self.inputs, outputs,
                              self.const_arrays)
-        last_use = plan._last_uses()
+        repack(plan)
+        return plan
 
-        # group slots by alias root; a physical buffer frees only when
-        # its whole group (the buffer plus every view / in-place handle
-        # of it) is past its last use
-        group_end: Dict[int, int] = {}
-        for sid, spec in enumerate(self.slots):
-            group_end[spec.root] = max(group_end.get(spec.root, -1),
-                                       last_use[sid])
 
-        # offset assignment into one arena blob (address-ordered
-        # first-fit over live byte ranges, the classic static memory
-        # plan): slots with disjoint lifetimes share bytes whatever
-        # their shapes, so the arena high-water tracks the live peak
-        # instead of the allocation total — this is what makes peak
-        # memory drop below the eager path
-        align = 64
-        active: List[Tuple[int, int, int]] = []   # (offset, size, end)
-        total = 0
-        for i, step in enumerate(self.steps):
-            spec = self.slots[step.out]
-            if step.kind != "compute":
-                continue
+def repack(plan: ExecutionPlan) -> ExecutionPlan:
+    """(Re)run liveness analysis and physical buffer assignment.
+
+    Called by :meth:`PlanBuilder.finalize` on a fresh trace, and again
+    by the :mod:`repro.tensor.plan_passes` optimisation passes after
+    they rewrite the step list — fused steps change slot lifetimes and
+    introduce scratch slots, so the offsets must be re-derived.
+    Idempotent: running it twice on an unchanged plan yields the same
+    assignment.
+    """
+    for spec in plan.slots:
+        spec.phys = None
+    last_use = plan._last_uses()
+
+    # group slots by alias root; a physical buffer frees only when
+    # its whole group (the buffer plus every view / in-place handle
+    # of it) is past its last use
+    group_end: Dict[int, int] = {}
+    for sid, spec in enumerate(plan.slots):
+        group_end[spec.root] = max(group_end.get(spec.root, -1),
+                                   last_use[sid])
+
+    # offset assignment into one arena blob (address-ordered
+    # first-fit over live byte ranges, the classic static memory
+    # plan): slots with disjoint lifetimes share bytes whatever
+    # their shapes, so the arena high-water tracks the live peak
+    # instead of the allocation total — this is what makes peak
+    # memory drop below the eager path
+    align = 64
+    active: List[Tuple[int, int, int]] = []   # (offset, size, end)
+    total = 0
+    for i, step in enumerate(plan.steps):
+        # scratch slots place first: they are read and written during
+        # this step, so their ranges (end == i) stay active while the
+        # output buffer is placed and can never overlap it
+        place = list(step.scratch)
+        if step.kind == "compute":
+            place.append(step.out)
+        for sid in place:
+            spec = plan.slots[sid]
             need = -(-spec.nbytes // align) * align
             # a range is reusable once its whole alias group is past
             # its last read (end < i); ranges read *during* this step
@@ -508,9 +554,9 @@ class PlanBuilder:
             active.append((offset, need, group_end[spec.root]))
             spec.phys = offset
             total = max(total, offset + need)
-        plan.arena_total = total
-        plan._build_releases()
-        return plan
+    plan.arena_total = total
+    plan._build_releases()
+    return plan
 
 
 # ----------------------------------------------------------------------
@@ -716,6 +762,14 @@ class PlanExecutor:
                     .view(spec.dtype).reshape(spec.shape)
             ins_spec = tuple(ref if tag == "s" else consts[ref]
                              for tag, ref in step.ins)
+            if step.scratch:
+                # scratch buffers are fixed arena views, appended to the
+                # kernel's inputs (fused kernels know their arity)
+                ins_spec += tuple(
+                    self._blob[plan.slots[s].phys:
+                               plan.slots[s].phys + plan.slots[s].nbytes]
+                    .view(plan.slots[s].dtype).reshape(plan.slots[s].shape)
+                    for s in step.scratch)
             bounds = None
             if pool is not None and step.rowwise \
                     and spec.nbytes >= PARALLEL_MIN_BYTES \

@@ -28,9 +28,19 @@ from ..data.preprocess import Normalizer, pad_mesh
 from ..swin.model import CoastalSurrogate
 from ..tensor import BufferArena, PlanExecutor, Tensor, no_grad
 from ..tensor import plan as _plan
+from ..tensor import plan_passes as _passes
 
 __all__ = ["FieldWindow", "ForecastResult", "CompiledForward",
-           "ForecastEngine"]
+           "ForecastEngine", "PlanAccuracyError"]
+
+
+class PlanAccuracyError(RuntimeError):
+    """A reduced-precision plan variant failed its accuracy gate.
+
+    Raised by :meth:`ForecastEngine.compile_reduced` when the variant's
+    forecast errors against the bitwise path exceed the tolerance; the
+    failing variant is **not** installed, so serving keeps running on
+    the exact plan."""
 
 
 @dataclass
@@ -96,6 +106,10 @@ class ForecastResult:
     #: whether the forward replayed a compiled plan (bitwise-identical
     #: to the eager path either way)
     compiled: bool = False
+    #: batch size of the plan that served this result — equal to the
+    #: request batch on an exact hit, larger when a partial batch was
+    #: padded into a bucket, ``None`` on the eager path
+    plan_batch: Optional[int] = None
     #: engine version that produced this result when served through a
     #: versioned pool (:class:`~repro.serve.pool.EngineWorkerPool`);
     #: ``None`` for direct engine calls
@@ -153,23 +167,49 @@ class ForecastEngine:
     boundary_width: rim width of the boundary-condition slots.
 
     Batches whose shape matches a plan prepared with :meth:`compile`
-    replay that plan instead of walking the dynamic eager path; unseen
-    shapes fall back to eager execution.  Both paths are bitwise
-    identical.
+    replay that plan instead of walking the dynamic eager path.  When
+    ``bucket_partial`` is on (the default), a batch *smaller* than any
+    compiled plan is zero-padded up to the nearest compiled batch size
+    (its "bucket"), replayed there, and the outputs sliced back — the
+    forward is row-independent, so the sliced result is still bitwise
+    identical to the unpadded eager run.  Only a batch larger than
+    every compiled plan falls back to eager.
+
+    ``optimize_plans`` (default on) runs the
+    :mod:`~repro.tensor.plan_passes` structural passes — peephole
+    fusion, constant folding, dead-step elimination — on every plan at
+    compile time.  Fused kernels replay the exact eager ufunc
+    sequences, so the optimised plan keeps the bitwise guarantee; only
+    the reduced-precision variants built by :meth:`compile_reduced`
+    trade exactness for bandwidth, and those must pass an accuracy
+    gate before they are installed.
     """
 
     def __init__(self, model: CoastalSurrogate, normalizer: Normalizer,
-                 boundary_width: int = 1):
+                 boundary_width: int = 1, *,
+                 optimize_plans: bool = True,
+                 bucket_partial: bool = True):
         self.model = model
         self.normalizer = normalizer
         self.boundary_width = boundary_width
+        self.optimize_plans = optimize_plans
+        self.bucket_partial = bucket_partial
         cfg = model.config
         self.pad_hw = (cfg.mesh[0], cfg.mesh[1])
         self._plans: Dict[Tuple[int, ...], CompiledForward] = {}
+        self._reduced: Dict[Tuple[int, ...], CompiledForward] = {}
+        self._pass_stats: Dict[int, Dict[str, object]] = {}
         self._plan_lock = threading.Lock()
         self._arena = BufferArena()
-        self.plan_hits = 0     # forwards served by a compiled plan
-        self.plan_misses = 0   # forwards that ran the eager path
+        # counters below are written only under _plan_lock, at plan
+        # lookup time, so hit/miss attribution is decided in the same
+        # critical section as the lookup itself (no mid-forward race
+        # with clear_plans()/compile())
+        self.plan_hits = 0       # forwards served by a compiled plan
+        self.plan_misses = 0     # forwards that ran the eager path
+        self.padded_rows = 0     # pad rows added by bucketing
+        self.total_rows = 0      # episode rows actually computed
+        self.bucket_hits: Dict[int, int] = {}  # plan batch -> hits
 
     @property
     def time_steps(self) -> int:
@@ -187,7 +227,9 @@ class ForecastEngine:
         plans bake weights, so reusing the old engine's plans for new
         weights would be wrong.
         """
-        return ForecastEngine(model, self.normalizer, self.boundary_width)
+        return ForecastEngine(model, self.normalizer, self.boundary_width,
+                              optimize_plans=self.optimize_plans,
+                              bucket_partial=self.bucket_partial)
 
     # ------------------------------------------------------------------
     # compiled plans
@@ -230,10 +272,114 @@ class ForecastEngine:
         plan, _ = _plan.trace(
             lambda a, b: self.model(a, b),
             (np.zeros(s3d, np.float32), np.zeros(s2d, np.float32)))
+        pass_stats = None
+        if self.optimize_plans:
+            plan, pass_stats = _passes.optimize(plan)
         compiled = CompiledForward(plan, self._arena)
         with self._plan_lock:
             # a concurrent compile of the same shape may have won
-            return self._plans.setdefault(s3d, compiled)
+            winner = self._plans.setdefault(s3d, compiled)
+            if winner is compiled and pass_stats is not None:
+                self._pass_stats[batch] = pass_stats
+            return winner
+
+    def compile_buckets(self, max_batch: int) -> List[int]:
+        """Compile the canonical bucket set for a ``max_batch`` caller.
+
+        Compiles a plan for every size in
+        :func:`~repro.tensor.plan_passes.plan_buckets` (powers of two
+        up to and including ``max_batch``), so :meth:`forecast_batch`
+        hits the plan cache at any arrival pattern: a partial batch
+        pads into the nearest bucket instead of falling back to eager.
+        Returns the bucket sizes, ascending.
+        """
+        buckets = _passes.plan_buckets(max_batch)
+        for b in buckets:
+            self.compile(b)
+        return list(buckets)
+
+    def compile_reduced(self, batch: int, dtype=np.float32,
+                        references: Optional[Sequence[FieldWindow]] = None,
+                        tol_rmse: float = 1e-3) -> CompiledForward:
+        """Build, gate and install a reduced-precision plan variant.
+
+        Clones the (optimised) exact plan for ``batch`` episodes with
+        floating storage narrowed to ``dtype`` via
+        :func:`~repro.tensor.plan_passes.cast_plan` — float64
+        accumulation the trace demanded is preserved — then gates it:
+        the ``references`` windows (synthetic tidal-like windows when
+        not given) run through both the bitwise path and the variant,
+        and every variable's RMSE between the two (computed with
+        :func:`repro.eval.metrics.compute_errors_many`, the repo's
+        forecast-accuracy yardstick) must stay within ``tol_rmse``.
+
+        On success the variant is installed (see :meth:`plan_stats`'s
+        ``reduced_batches``) and returned; on failure it is retired and
+        :class:`PlanAccuracyError` is raised — a variant that fails its
+        gate is never served.
+        """
+        # lazy import: eval.metrics -> workflow.forecast -> this module
+        from ..eval.metrics import compute_errors_many
+
+        batch = int(batch)
+        base = self.compile(batch)
+        if references is None:
+            references = self._gate_windows(batch)
+        references = list(references)
+        if len(references) != batch:
+            raise ValueError(
+                f"compile_reduced() gate needs exactly {batch} reference "
+                f"windows, got {len(references)}")
+
+        exact = self.forecast_batch(references)
+        variant_plan = _passes.cast_plan(base.plan, dtype)
+        candidate = CompiledForward(variant_plan, self._arena)
+
+        x3d, x2d, crop = self._prepare_inputs(references)
+        target = np.dtype(dtype)
+        executor = candidate.acquire()
+        try:
+            p3, p2 = executor.run((x3d.astype(target), x2d.astype(target)))
+            vol = np.moveaxis(p3, -1, 2).astype(np.float64)
+            zet = np.moveaxis(p2[:, 0], -1, 1).astype(np.float64)
+        finally:
+            candidate.release(executor)
+        approx = self._finalize(references, vol, zet, 0.0,
+                                compiled=True, plan_batch=batch)
+
+        errors = compute_errors_many([r.fields for r in approx],
+                                     [r.fields for r in exact])
+        worst = max(errors.rmse.values())
+        if not np.isfinite(worst) or worst > tol_rmse:
+            candidate.retire()
+            raise PlanAccuracyError(
+                f"reduced-precision plan (batch={batch}, dtype={target}) "
+                f"failed its accuracy gate: worst RMSE vs the exact path "
+                f"{worst:.3e} > tolerance {tol_rmse:.3e}; per-variable "
+                f"rmse={ {k: float(v) for k, v in errors.rmse.items()} }")
+        s3d, _ = self._input_shapes(batch)
+        with self._plan_lock:
+            installed = self._reduced.setdefault(s3d, candidate)
+        if installed is not candidate:
+            candidate.retire()
+        return installed
+
+    def _gate_windows(self, batch: int) -> List[FieldWindow]:
+        """Deterministic synthetic windows spanning the padded mesh,
+        used to gate reduced-precision variants when the caller has no
+        held-out data at hand."""
+        ph, pw = self.pad_hw
+        D = self.model.config.mesh[2]
+        T = self.time_steps
+        rng = np.random.default_rng(20260807)
+        out = []
+        for _ in range(batch):
+            out.append(FieldWindow(
+                rng.normal(size=(T, ph, pw, D)).astype(np.float32),
+                rng.normal(size=(T, ph, pw, D)).astype(np.float32),
+                rng.normal(size=(T, ph, pw, D)).astype(np.float32),
+                rng.normal(size=(T, ph, pw)).astype(np.float32)))
+        return out
 
     def clear_plans(self) -> None:
         """Drop every cached plan (required after retraining: folded
@@ -243,7 +389,9 @@ class ForecastEngine:
         reuse them instead of allocating fresh."""
         with self._plan_lock:
             plans, self._plans = dict(self._plans), {}
-        for compiled in plans.values():
+            reduced, self._reduced = dict(self._reduced), {}
+            self._pass_stats = {}
+        for compiled in list(plans.values()) + list(reduced.values()):
             compiled.retire()
 
     @property
@@ -253,15 +401,29 @@ class ForecastEngine:
             return sorted(k[0] for k in self._plans)
 
     def plan_stats(self) -> Dict[str, object]:
-        """Plan-cache and arena counters (for serving metrics)."""
+        """Plan-cache, bucketing and arena counters (for serving
+        metrics), read as **one consistent snapshot**: every counter is
+        captured inside a single ``_plan_lock`` critical section, so a
+        concurrent forward can never show e.g. a hit without its bucket
+        attribution."""
         with self._plan_lock:
             plans = dict(self._plans)
             hits, misses = self.plan_hits, self.plan_misses
+            padded, total = self.padded_rows, self.total_rows
+            bucket_hits = dict(self.bucket_hits)
+            pass_stats = dict(self._pass_stats)
+            reduced = sorted(k[0] for k in self._reduced)
         return {
             "plans": len(plans),
             "batches": sorted(k[0] for k in plans),
             "hits": hits,
             "misses": misses,
+            "padded_rows": padded,
+            "total_rows": total,
+            "bucket_pad_fraction": padded / total if total else 0.0,
+            "bucket_hits": bucket_hits,
+            "pass_stats": pass_stats,
+            "reduced_batches": reduced,
             "arena": self._arena.stats(),
             "executors": sum(p.executors_created for p in plans.values()),
             "arena_bytes": {k[0]: p.plan.arena_bytes()
@@ -294,6 +456,92 @@ class ForecastEngine:
         return out
 
     # ------------------------------------------------------------------
+    def _prepare_inputs(self, references: Sequence[FieldWindow]
+                        ) -> Tuple[np.ndarray, np.ndarray,
+                                   Tuple[int, int]]:
+        """Validate, normalise and assemble N windows into the model's
+        (x3d, x2d) inputs; returns them with the (H, W) crop of the
+        request mesh."""
+        T = self.time_steps
+        for r in references:
+            if r.T != T:
+                raise ValueError(
+                    f"window length {r.T} != model time_steps {T}")
+        norm = self._normalize_batch(references)
+        x3d, x2d = assemble_episode_input_batch(
+            norm["u3"], norm["v3"], norm["w3"], norm["zeta"],
+            self.boundary_width)
+        x3d = np.ascontiguousarray(x3d, dtype=np.float32)
+        x2d = np.ascontiguousarray(x2d, dtype=np.float32)
+        H, W = references[0].zeta.shape[1:3]
+        return x3d, x2d, (H, W)
+
+    def _lookup_plan(self, shape: Tuple[int, ...]
+                     ) -> Tuple[Optional[CompiledForward], Optional[int]]:
+        """One-critical-section plan lookup **and** outcome recording.
+
+        Exact-shape plans win; otherwise, with ``bucket_partial`` on,
+        the smallest compiled plan whose batch exceeds the request's
+        serves as its bucket (the batch pads up, outputs slice back).
+        The hit/miss, per-bucket and padding counters are all updated
+        here, inside the same ``_plan_lock`` section as the lookup —
+        the counters describe the decision actually taken even if a
+        concurrent :meth:`clear_plans`/:meth:`compile` lands while the
+        forward itself runs outside the lock.
+        """
+        n = shape[0]
+        with self._plan_lock:
+            compiled_fwd = self._plans.get(shape)
+            plan_batch: Optional[int] = n if compiled_fwd is not None \
+                else None
+            if compiled_fwd is None and self.bucket_partial:
+                tail = shape[1:]
+                best = None
+                for key in self._plans:
+                    if key[1:] == tail and key[0] > n and \
+                            (best is None or key[0] < best):
+                        best = key[0]
+                if best is not None:
+                    compiled_fwd = self._plans[(best,) + tail]
+                    plan_batch = best
+            if compiled_fwd is not None:
+                self.plan_hits += 1
+                self.bucket_hits[plan_batch] = \
+                    self.bucket_hits.get(plan_batch, 0) + 1
+                self.padded_rows += plan_batch - n
+                self.total_rows += plan_batch
+            else:
+                self.plan_misses += 1
+                self.total_rows += n
+        return compiled_fwd, plan_batch
+
+    def _finalize(self, references: Sequence[FieldWindow],
+                  vol: np.ndarray, zet: np.ndarray, seconds: float, *,
+                  compiled: bool, plan_batch: Optional[int]
+                  ) -> List[ForecastResult]:
+        """Denormalise, crop to the request mesh, restore the exact
+        initial condition and wrap per-episode results."""
+        H, W = references[0].zeta.shape[1:3]
+        u3 = self.normalizer.denormalize("u3", vol[:, 0])[:, :, :H, :W]
+        v3 = self.normalizer.denormalize("v3", vol[:, 1])[:, :, :H, :W]
+        w3 = self.normalizer.denormalize("w3", vol[:, 2])[:, :, :H, :W]
+        zeta = self.normalizer.denormalize("zeta", zet)[:, :, :H, :W]
+
+        per_episode = seconds / len(references)
+        results: List[ForecastResult] = []
+        for i, r in enumerate(references):
+            fields = FieldWindow(
+                np.ascontiguousarray(u3[i]), np.ascontiguousarray(v3[i]),
+                np.ascontiguousarray(w3[i]), np.ascontiguousarray(zeta[i]))
+            # the initial condition is known exactly — keep it
+            fields.u3[0], fields.v3[0], fields.w3[0] = \
+                r.u3[0], r.v3[0], r.w3[0]
+            fields.zeta[0] = r.zeta[0]
+            results.append(ForecastResult(fields, per_episode,
+                                          compiled=compiled,
+                                          plan_batch=plan_batch))
+        return results
+
     def forecast_batch(self, references: Sequence[FieldWindow]
                        ) -> List[ForecastResult]:
         """Forecast N episodes in one vectorised pass.
@@ -312,6 +560,12 @@ class ForecastEngine:
         identical (up to float associativity) to running each window
         through the serial one-episode path.
 
+        A batch with no exact-shape plan pads into the nearest larger
+        compiled bucket (zero rows appended, outputs sliced back) when
+        ``bucket_partial`` is on; the forward is row-independent, so
+        the sliced result stays bitwise-identical to the unpadded eager
+        run.  ``ForecastResult.plan_batch`` records the bucket used.
+
         Thread safety: this method never writes model or normalizer
         state (``eval()`` is an idempotent flag write and the autograd
         switch is thread-local), and the input windows are only read —
@@ -327,40 +581,33 @@ class ForecastEngine:
         references = list(references)
         if not references:
             return []
-        T = self.time_steps
-        for r in references:
-            if r.T != T:
-                raise ValueError(
-                    f"window length {r.T} != model time_steps {T}")
-
-        norm = self._normalize_batch(references)
-        x3d, x2d = assemble_episode_input_batch(
-            norm["u3"], norm["v3"], norm["w3"], norm["zeta"],
-            self.boundary_width)
-        x3d = np.ascontiguousarray(x3d, dtype=np.float32)
-        x2d = np.ascontiguousarray(x2d, dtype=np.float32)
-
-        with self._plan_lock:
-            compiled_fwd = self._plans.get(x3d.shape)
+        n = len(references)
+        x3d, x2d, _ = self._prepare_inputs(references)
+        compiled_fwd, plan_batch = self._lookup_plan(x3d.shape)
 
         self.model.eval()
         # (N, 3, H', W', D, T) → (N, 3, T, H', W', D); ζ → (N, T, H', W')
         # denormalised in float64 so the exact initial condition can be
         # restored losslessly below
         if compiled_fwd is not None:
+            if plan_batch != n:
+                pad = plan_batch - n
+                x3d = np.concatenate(
+                    [x3d, np.zeros((pad,) + x3d.shape[1:], x3d.dtype)])
+                x2d = np.concatenate(
+                    [x2d, np.zeros((pad,) + x2d.shape[1:], x2d.dtype)])
             executor = compiled_fwd.acquire()
             try:
                 t0 = time.perf_counter()
                 p3_arr, p2_arr = executor.run((x3d, x2d))
                 seconds = time.perf_counter() - t0
-                # the outputs are arena views — consume them before the
-                # executor goes back on the free-list
-                vol = np.moveaxis(p3_arr, -1, 2).astype(np.float64)
-                zet = np.moveaxis(p2_arr[:, 0], -1, 1).astype(np.float64)
+                # the outputs are arena views — consume them (and drop
+                # any pad rows) before the executor goes back on the
+                # free-list
+                vol = np.moveaxis(p3_arr[:n], -1, 2).astype(np.float64)
+                zet = np.moveaxis(p2_arr[:n, 0], -1, 1).astype(np.float64)
             finally:
                 compiled_fwd.release(executor)
-            with self._plan_lock:
-                self.plan_hits += 1
         else:
             t0 = time.perf_counter()
             with no_grad():
@@ -368,25 +615,7 @@ class ForecastEngine:
             seconds = time.perf_counter() - t0
             vol = np.moveaxis(p3d.data, -1, 2).astype(np.float64)
             zet = np.moveaxis(p2d.data[:, 0], -1, 1).astype(np.float64)
-            with self._plan_lock:
-                self.plan_misses += 1
 
-        H, W = references[0].zeta.shape[1:3]
-        u3 = self.normalizer.denormalize("u3", vol[:, 0])[:, :, :H, :W]
-        v3 = self.normalizer.denormalize("v3", vol[:, 1])[:, :, :H, :W]
-        w3 = self.normalizer.denormalize("w3", vol[:, 2])[:, :, :H, :W]
-        zeta = self.normalizer.denormalize("zeta", zet)[:, :, :H, :W]
-
-        per_episode = seconds / len(references)
-        results: List[ForecastResult] = []
-        for i, r in enumerate(references):
-            fields = FieldWindow(
-                np.ascontiguousarray(u3[i]), np.ascontiguousarray(v3[i]),
-                np.ascontiguousarray(w3[i]), np.ascontiguousarray(zeta[i]))
-            # the initial condition is known exactly — keep it
-            fields.u3[0], fields.v3[0], fields.w3[0] = \
-                r.u3[0], r.v3[0], r.w3[0]
-            fields.zeta[0] = r.zeta[0]
-            results.append(ForecastResult(fields, per_episode,
-                                          compiled=compiled_fwd is not None))
-        return results
+        return self._finalize(references, vol, zet, seconds,
+                              compiled=compiled_fwd is not None,
+                              plan_batch=plan_batch)

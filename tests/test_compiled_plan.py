@@ -275,15 +275,44 @@ class TestEngineCompiled:
                 assert np.array_equal(getattr(g.fields, var),
                                       getattr(w.fields, var))
 
-    def test_unseen_batch_falls_back_to_eager(self, engine, windows):
+    def test_partial_batch_buckets_into_larger_plan(self, engine, windows):
+        """A batch-3 request no longer falls back to eager: it pads into
+        the compiled batch-4 plan and records the bucket it used."""
+        engine.compile(4)
+        res = engine.forecast_batch(windows[:3])
+        assert all(r.compiled for r in res)
+        assert all(r.plan_batch == 4 for r in res)
+        stats = engine.plan_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 0
+        assert stats["bucket_hits"] == {4: 1}
+        assert stats["padded_rows"] == 1 and stats["total_rows"] == 4
+        assert stats["bucket_pad_fraction"] == pytest.approx(0.25)
+        engine.forecast_batch(windows[:4])
+        stats = engine.plan_stats()
+        assert stats["hits"] == 2 and stats["batches"] == [4]
+        assert stats["bucket_pad_fraction"] == pytest.approx(1 / 8)
+
+    def test_oversized_batch_still_falls_back_to_eager(self, engine,
+                                                       windows):
+        """No compiled plan can hold the request ⇒ genuine eager path."""
+        engine.compile(4)
+        res = engine.forecast_batch(windows[:5])
+        assert not any(r.compiled for r in res)
+        assert all(r.plan_batch is None for r in res)
+        stats = engine.plan_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 1
+        assert stats["padded_rows"] == 0 and stats["total_rows"] == 5
+
+    def test_bucket_partial_off_restores_eager_fallback(self,
+                                                        tiny_surrogate,
+                                                        windows):
+        norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
+        engine = ForecastEngine(tiny_surrogate, norm, bucket_partial=False)
         engine.compile(4)
         res = engine.forecast_batch(windows[:3])
         assert not any(r.compiled for r in res)
         stats = engine.plan_stats()
         assert stats["hits"] == 0 and stats["misses"] == 1
-        engine.forecast_batch(windows[:4])
-        stats = engine.plan_stats()
-        assert stats["hits"] == 1 and stats["batches"] == [4]
 
     def test_compile_idempotent_and_clear(self, engine, windows):
         cf1 = engine.compile(2)
@@ -434,18 +463,25 @@ class TestServedPlans:
         from repro.serve import MicroBatchScheduler
         sched = MicroBatchScheduler(engine, max_batch=4, autostart=False,
                                     warm_plans=True)
-        assert engine.compiled_batches == [4]
+        # warmup now compiles the whole bucket set, not just max_batch
+        assert engine.compiled_batches == [1, 2, 4]
         for w in windows[:4]:
             sched.submit(w)
         assert sched.step() == 4
-        # partial batch: eager fallback, still recorded
+        # partial batch: served by the batch-1 bucket, no eager fallback
         sched.submit(windows[4])
         sched.flush()
         sched.close()
         m = sched.metrics
-        assert m.n_batches == 2 and m.plan_batches == 1
-        assert m.batches[0].compiled and not m.batches[1].compiled
-        assert m.summary()["plan_batches"] == 1
+        assert m.n_batches == 2 and m.plan_batches == 2
+        assert m.batches[0].compiled and m.batches[1].compiled
+        assert m.batches[0].plan_batch == 4
+        assert m.batches[1].plan_batch == 1
+        assert m.summary()["plan_batches"] == 2
+        assert m.bucket_hits() == {4: 1, 1: 1}
+        assert m.padded_rows == 0
+        assert m.summary()["bucket_pad_fraction"] == 0.0
+        assert engine.plan_stats()["misses"] == 0
 
     def test_scheduler_warm_plans_needs_compile(self, windows):
         from repro.serve import MicroBatchScheduler
@@ -486,15 +522,16 @@ class TestServedPlans:
                     assert_windows_bitwise(
                         by_id[(worker.worker_id, rid)][1].fields, d.fields)
         m = pool.metrics
-        # full micro-batches replay the warm plan, partial ones are
-        # eager; both contribute to the aggregated counter
-        assert m.plan_batches == sum(
-            1 for w in pool.workers
-            for b in w.scheduler.metrics.batches if b.size == 2)
+        # warmup compiles the full bucket set (1, 2), so every
+        # micro-batch — full or partial — replays a compiled plan
+        n_batches = sum(len(w.scheduler.metrics.batches)
+                        for w in pool.workers)
+        assert m.plan_batches == n_batches > 0
         assert m.summary()["plan_batches"] == m.plan_batches
-        # replicas share one engine, hence one plan cache
+        # replicas share one engine, hence one plan cache holding the
+        # warm bucket set (1, 2)
         stats = pool.plan_stats()
-        assert list(stats) == [0] and stats[0]["plans"] == 1
+        assert list(stats) == [0] and stats[0]["plans"] == 2
         pool.close()
 
     @pytest.mark.parametrize("policy", POLICIES)
@@ -557,7 +594,7 @@ class TestServedPlans:
         with ForecastServer(engine, workers=2, max_batch=4, max_wait=0.01,
                             ocean=tiny_ocean, verifier=verifier,
                             warm_plans=True) as server:
-            assert engine.compiled_batches == [4]
+            assert engine.compiled_batches == [1, 2, 4]
             # partial micro-batches are timing-dependent under the
             # threaded scheduler: compile the smaller sizes too so
             # every batch replays a plan
