@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Serving-operations benchmark: hot-swap and autoscaling under load.
 
-Two phases against a live :class:`~repro.serve.server.ForecastServer`:
+Three phases against a live :class:`~repro.serve.server.ForecastServer`:
 
 1. **Deploy under load** — paced client threads sustain traffic while
    the main thread hot-swaps a new model version through the pool
@@ -12,11 +12,23 @@ Two phases against a live :class:`~repro.serve.server.ForecastServer`:
    served traffic.  Every response is checked bitwise against its
    pinned version's direct ``forecast_batch`` output.
 
-2. **Autoscale across a spike** — a single-replica pool with an
+2. **Autoscale across a burst** — a single-replica pool with an
    attached :class:`~repro.serve.autoscale.AutoScaler` takes a
    saturating burst (the pool must grow), then a quiet tail (the pool
-   must shrink back to ``min_workers``), with every transition
-   recorded in the pool's event log.
+   must shrink back to ``min_workers``).  The load is a *degenerate
+   scenario*: a recorded single-basin all-unique trace replayed with
+   ``time_scale=0`` and closed-loop retry — the same step-function
+   shape (and ``sustained_qps`` comparability) the phase always had,
+   now expressed through :func:`repro.scenario.replay_trace`.
+
+3. **Multi-basin storm spike** — the full scenario stack: four basins
+   with heterogeneous meshes, tenant-weighted Poisson arrivals, and a
+   Gaussian storm-spike burst, replayed open-loop in paced wall-clock
+   mode through a key-affinity server with cache and autoscaler.  The
+   pool must grow through the spike and shrink after it with **zero
+   lost requests** (``offered == served + cached + shed`` exactly);
+   per-basin shed fractions and ``scenario_sustained_qps`` land in the
+   gated metrics.
 
 Self-contained like ``bench_serving.py`` (untrained tiny surrogate:
 operations behaviour does not depend on forecast skill), so CI can
@@ -24,8 +36,9 @@ smoke it on every push::
 
     python benchmarks/bench_operations.py --quick
 
-Writes ``BENCH_operations.json`` — sustained-QPS is the gated
-trajectory metric (``tools/bench_gate.py``).
+Writes ``BENCH_operations.json`` — ``sustained_qps`` and
+``scenario_sustained_qps`` are the gated trajectory metrics
+(``tools/bench_gate.py``).
 """
 
 from __future__ import annotations
@@ -47,7 +60,15 @@ except ModuleNotFoundError:
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.data import Normalizer
-from repro.serve import ForecastServer, PoolSaturated
+from repro.scenario import (
+    DEFAULT_BASINS,
+    ScenarioFactory,
+    StormSpike,
+    TrafficModel,
+    replay_trace,
+    simulate_trace,
+)
+from repro.serve import ForecastServer
 from repro.swin import CoastalSurrogate, SurrogateConfig
 from repro.workflow import ForecastEngine
 from repro.workflow.engine import FieldWindow
@@ -167,43 +188,100 @@ def phase_deploy(n_requests: int, check_bitwise: bool) -> dict:
     return out
 
 
-def phase_autoscale(n_requests: int) -> dict:
-    engine = build_engine(seed=3)
-    windows = make_windows(16)
-    server = ForecastServer(engine, workers=1, max_batch=4,
-                            max_wait=0.001, max_queue=8)
-    scaler = server.enable_autoscaling(
-        min_workers=1, max_workers=4, high_water=0.5, low_water=0.1,
-        scale_down_patience=2, interval=0.02)
-    # saturating burst: submit as fast as the pool admits
-    futures = []
-    for k in range(n_requests):
-        while True:
-            try:
-                futures.append(server.submit(windows[k % len(windows)]))
-                break
-            except PoolSaturated as exc:
-                time.sleep(min(exc.retry_after, 0.05))
-    for fut in futures:
-        fut.result(timeout=300)
-    peak = max((e.workers_after for e in scaler.events
-                if e.action == "up"), default=1)
-    # quiet tail: let the scaler drain back down
-    deadline = time.perf_counter() + 10.0
+def wait_for_shrink(server, scaler, seconds: float = 10.0) -> int:
+    """Quiet tail: wait for the scaler to drain back to min_workers;
+    returns the final live worker count."""
+    deadline = time.perf_counter() + seconds
     while time.perf_counter() < deadline:
         live = sum(not w.draining for w in server.pool.workers)
         if live <= scaler.min_workers:
             break
         time.sleep(0.05)
-    final = sum(not w.draining for w in server.pool.workers)
+    return sum(not w.draining for w in server.pool.workers)
+
+
+def degenerate_trace(n_requests: int, seed: int,
+                     factory: ScenarioFactory):
+    """The old step-function burst as a recorded trace: one basin,
+    every request unique, trimmed to exactly ``n_requests`` events."""
+    model = TrafficModel.from_factory(factory, base_rate=n_requests,
+                                      unique_fraction=1.0)
+    trace = simulate_trace(model, duration_s=10.0, seed=seed)
+    trace.events = trace.events[:n_requests]
+    return trace
+
+
+def phase_autoscale(n_requests: int) -> dict:
+    engine = build_engine(seed=3)
+    factory = ScenarioFactory(seed=3, basins=DEFAULT_BASINS[:1])
+    trace = degenerate_trace(n_requests, seed=3, factory=factory)
+    server = ForecastServer(engine, workers=1, max_batch=4,
+                            max_wait=0.001, max_queue=8)
+    scaler = server.enable_autoscaling(
+        min_workers=1, max_workers=4, high_water=0.5, low_water=0.1,
+        scale_down_patience=2, interval=0.02)
+    # time_scale=0 + closed-loop retry: submit as fast as the pool
+    # admits — the saturating burst the scaler must grow through
+    report = replay_trace(trace, server, factory, mode="wall",
+                          time_scale=0.0, shed_retry=0.05, timeout=300.0)
+    peak = max((e.workers_after for e in scaler.events
+                if e.action == "up"), default=1)
+    final = wait_for_shrink(server, scaler)
     events = list(scaler.events)
     out = {
-        "requests": len(futures),
-        "lost_requests": len(futures) - server.pool.metrics.n_requests,
+        "requests": report.offered,
+        "lost_requests": report.lost,
         "peak_workers": peak,
         "final_workers": final,
         "scale_ups": sum(e.action == "up" for e in events),
         "scale_downs": sum(e.action == "down" for e in events),
+    }
+    server.close()
+    return out
+
+
+def phase_scenario(base_rate: float, duration_s: float,
+                   time_scale: float) -> dict:
+    """Multi-basin storm-spike scenario through the full stack."""
+    engine = build_engine(seed=4)
+    factory = ScenarioFactory(seed=4)
+    # a violent near-burst spike on every basin mid-trace: arrivals
+    # must outrun one replica regardless of host speed, so the scaler
+    # demonstrably grows; the quiet tail then shrinks it back
+    spikes = {s.name: StormSpike(center_s=duration_s / 2,
+                                 width_s=duration_s / 16, amplitude=24.0)
+              for s in DEFAULT_BASINS}
+    model = TrafficModel.from_factory(
+        factory, base_rate=base_rate, unique_fraction=0.5,
+        advance_every_s=duration_s / 8, spikes=spikes)
+    trace = simulate_trace(model, duration_s=duration_s, seed=4)
+    server = ForecastServer(engine, workers=1, max_batch=4,
+                            max_wait=0.002, max_queue=8,
+                            router="key-affinity", cache_bytes=1 << 24)
+    scaler = server.enable_autoscaling(
+        min_workers=1, max_workers=4, high_water=0.5, low_water=0.1,
+        scale_down_patience=2, interval=0.02)
+    report = replay_trace(trace, server, factory, mode="wall",
+                          time_scale=time_scale, timeout=300.0)
+    report.check()                  # offered == served + cached + shed
+    peak = max((e.workers_after for e in scaler.events
+                if e.action == "up"), default=1)
+    final = wait_for_shrink(server, scaler)
+    out = {
+        "offered": report.offered,
+        "accounting": report.accounting(),
+        "lost_requests": report.lost,
+        "scenario_sustained_qps": report.sustained_qps(),
+        "cache_hit_fraction": report.cached / max(report.offered, 1),
+        "shed_fraction": report.shed / max(report.offered, 1),
+        "per_basin": {
+            name: {"offered": b.offered, "served": b.served,
+                   "cached": b.cached, "shed": b.shed,
+                   "shed_fraction": b.shed_fraction,
+                   "latency_p95_ms": b.latency_p95_ms}
+            for name, b in report.per_basin.items()},
+        "peak_workers": peak,
+        "final_workers": final,
     }
     server.close()
     return out
@@ -222,8 +300,8 @@ def main(argv=None) -> int:
     n_requests = 48 if args.quick else args.requests
 
     print(f"operations benchmark: {n_requests} requests around a live "
-          f"hot-swap, then a saturating autoscale spike "
-          f"({os.cpu_count() or 1} cores)")
+          f"hot-swap, a saturating autoscale burst, and a multi-basin "
+          f"storm-spike scenario ({os.cpu_count() or 1} cores)")
 
     deploy = phase_deploy(n_requests, check_bitwise=True)
     print(f"\n--- deploy under load ---")
@@ -238,28 +316,61 @@ def main(argv=None) -> int:
           f"responses equal their pinned version's direct output")
 
     scale = phase_autoscale(max(24, n_requests // 2))
-    print(f"\n--- autoscale across a spike ---")
+    print(f"\n--- autoscale across a burst (degenerate scenario) ---")
     print(f"  workers              : 1 -> peak {scale['peak_workers']} -> "
           f"final {scale['final_workers']}")
     print(f"  transitions          : {scale['scale_ups']} up, "
           f"{scale['scale_downs']} down")
     print(f"  lost requests        : {scale['lost_requests']}")
 
+    duration_s = 3.0 if args.quick else 6.0
+    base_rate = 6.0 if args.quick else 12.0
+    scenario = phase_scenario(base_rate, duration_s, time_scale=0.5)
+    acc = scenario["accounting"]
+    print(f"\n--- multi-basin storm spike ---")
+    print(f"  offered              : {acc['offered']} requests over "
+          f"{len(scenario['per_basin'])} basins "
+          f"({duration_s:.0f}s trace at 0.5x)")
+    print(f"  accounting           : served {acc['served']} + cached "
+          f"{acc['cached']} + shed {acc['shed']} == offered, "
+          f"lost {acc['lost']}")
+    print(f"  sustained            : "
+          f"{scenario['scenario_sustained_qps']:.0f} req/s")
+    print(f"  workers              : 1 -> peak "
+          f"{scenario['peak_workers']} -> final "
+          f"{scenario['final_workers']}")
+    for name, b in scenario["per_basin"].items():
+        print(f"    {name:<14s}: offered {b['offered']:>4d}  shed "
+              f"{100 * b['shed_fraction']:5.1f}%  p95 "
+              f"{b['latency_p95_ms']:.1f}ms")
+
+    metrics = {
+        "sustained_qps": deploy["sustained_qps"],
+        "deploy_seconds": deploy["deploy_seconds"],
+        "shed_during_deploy": deploy["shed_during_deploy"],
+        "autoscale_peak_workers": scale["peak_workers"],
+        "autoscale_final_workers": scale["final_workers"],
+        "scenario_sustained_qps": scenario["scenario_sustained_qps"],
+        "scenario_shed_fraction": scenario["shed_fraction"],
+        "scenario_cache_hit_fraction": scenario["cache_hit_fraction"],
+        "scenario_peak_workers": scenario["peak_workers"],
+    }
+    for name, b in scenario["per_basin"].items():
+        metrics[f"scenario_shed_fraction_{name}"] = b["shed_fraction"]
     record = {
         "benchmark": "operations",
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "quick": bool(args.quick),
         "cores": os.cpu_count() or 1,
-        "config": {"requests": n_requests},
-        "metrics": {
-            "sustained_qps": deploy["sustained_qps"],
-            "deploy_seconds": deploy["deploy_seconds"],
-            "shed_during_deploy": deploy["shed_during_deploy"],
-            "autoscale_peak_workers": scale["peak_workers"],
-            "autoscale_final_workers": scale["final_workers"],
-        },
+        "config": {"requests": n_requests,
+                   "scenario": {"base_rate": base_rate,
+                                "duration_s": duration_s,
+                                "time_scale": 0.5, "seed": 4}},
+        "metrics": metrics,
+        "scenario_per_basin": scenario["per_basin"],
         # tools/bench_gate.py regresses these (higher = better)
-        "gate": {"higher_better": ["sustained_qps"]},
+        "gate": {"higher_better": ["sustained_qps",
+                                   "scenario_sustained_qps"]},
     }
     out_path = Path(args.out) if args.out else \
         Path(__file__).resolve().parent.parent / "BENCH_operations.json"
@@ -292,9 +403,21 @@ def main(argv=None) -> int:
         print(f"FAIL: {scale['lost_requests']} requests lost across "
               "scale transitions")
         ok = False
+    if scenario["lost_requests"] != 0:
+        print(f"FAIL: {scenario['lost_requests']} requests lost in the "
+              "storm-spike scenario — accounting must be exact")
+        ok = False
+    if scenario["peak_workers"] <= 1:
+        print("FAIL: the autoscaler never grew through the storm spike")
+        ok = False
+    if scenario["final_workers"] != 1:
+        print(f"FAIL: the pool did not shrink after the spike "
+              f"(final {scenario['final_workers']})")
+        ok = False
     if ok:
-        print("PASS: zero-shed deploy, bitwise version pinning, and a "
-              "grow-then-shrink autoscale cycle")
+        print("PASS: zero-shed deploy, bitwise version pinning, and "
+              "grow-then-shrink autoscale cycles (burst + storm spike) "
+              "with exact request accounting")
     return 0 if ok else 1
 
 

@@ -1,31 +1,28 @@
-"""Serving demo: micro-batched, sharded forecasts for concurrent users.
+"""Serving demo: a multi-basin storm scenario through the full stack.
 
-Stands up a :class:`~repro.serve.server.ForecastServer` over a pool of
-two engine replicas (key-affinity sharding, so duplicate scenarios meet
-on one replica) and replays a synthetic request trace with three user
-behaviours mixed together:
+Builds a :class:`~repro.scenario.ScenarioFactory` — four named
+Gulf-coast basins with heterogeneous native meshes, tidal regimes, and
+parametric storm tracks, all pinned by one seed — and samples a
+tenant-weighted Poisson arrival trace with a storm-spike burst on one
+basin (:func:`~repro.scenario.simulate_trace`).  The trace replays
+through a :class:`~repro.serve.server.ForecastServer` over two
+key-affinity replicas (:func:`~repro.scenario.replay_trace`), so the
+demo exercises what production traffic would:
 
-* a *bursty crowd* asking for the handful of currently-trending
-  scenarios (deduplicated by the keyed result cache),
-* a steady stream of *unique* scenario requests (coalesced by each
-  replica's micro-batching scheduler into shared forwards),
-* one *ensemble* user whose members shard across the pool's batch
-  slots.
+* each basin's rolling-forecast requests pin to one replica (router
+  affinity) and their between-advance duplicates are answered by the
+  result cache / in-flight dedup instead of the engine,
+* cache-busting *unique* requests coalesce into micro-batched
+  forwards,
+* the report accounts for every request exactly:
+  ``offered == served + cached + shed``.
 
-Mid-trace, a new model version is **hot-swapped** through the pool
-(``server.deploy``): the replicas roll one at a time — surge a warmed
-new-version replica, drain the old one — so the crowd never notices,
-and every in-flight request finishes bitwise-identical on the version
-that admitted it.
-
-Prints the per-request latency, batch-occupancy, sharding, cache and
-version metrics the server exports, plus the fitted capacity model —
-the same numbers ``benchmarks/bench_serving.py`` and
-``benchmarks/bench_operations.py`` sweep systematically.
+An ensemble request rides along, and mid-demo a new model version is
+**hot-swapped** through the pool (``server.deploy``) with zero
+downtime.  Prints the per-basin accounting next to the server's
+latency, occupancy, cache, and version metrics — the same numbers
+``benchmarks/bench_operations.py`` sweeps systematically.
 """
-
-import threading
-import time
 
 import numpy as np
 
@@ -33,19 +30,19 @@ import _bootstrap  # noqa: F401
 
 from repro.data import Normalizer
 from repro.hpc import ServingCapacityModel
+from repro.scenario import (
+    ScenarioFactory,
+    StormSpike,
+    TrafficModel,
+    replay_trace,
+    simulate_trace,
+)
 from repro.serve import ForecastServer
 from repro.swin import CoastalSurrogate, SurrogateConfig
 from repro.workflow import ForecastEngine
-from repro.workflow.engine import FieldWindow
 
-T, H, W, D = 4, 15, 14, 6
+T, D = 4, 6
 VARS = ("u3", "v3", "w3", "zeta")
-
-
-def make_window(rng):
-    return FieldWindow(
-        rng.normal(size=(T, H, W, D)), rng.normal(size=(T, H, W, D)),
-        rng.normal(size=(T, H, W, D)), rng.normal(size=(T, H, W)))
 
 
 def main():
@@ -57,54 +54,48 @@ def main():
     )
     norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
     engine = ForecastEngine(CoastalSurrogate(cfg), norm)
-    # the server warms the whole max_batch bucket set (1/2/4/8 here),
-    # and a partial flush pads into the nearest bucket — every
-    # micro-batch replays allocation-free, bitwise ≡ eager
 
-    rng = np.random.default_rng(0)
-    trending = [make_window(rng) for _ in range(3)]   # the hot scenarios
-    print("serving 40 requests from 3 user behaviours "
-          "(2 replicas, key-affinity sharding, max_batch=8, "
-          "max_wait=15ms, 16 MiB result cache)…")
+    # one seed pins the whole scenario: basins, bathymetry, tides,
+    # storm tracks, and the arrival trace
+    factory = ScenarioFactory(seed=0)
+    model = TrafficModel.from_factory(
+        factory, base_rate=4.0, unique_fraction=0.25,
+        advance_every_s=1.0,
+        spikes={"boca-grande": StormSpike(center_s=2.0, width_s=0.4,
+                                          amplitude=6.0)})
+    trace = simulate_trace(model, duration_s=4.0, seed=0)
+    print(f"scenario: {len(factory.basin_names)} basins "
+          f"({', '.join(factory.basin_names)}), "
+          f"{trace.n_requests} requests over {trace.duration_s:.0f}s "
+          f"with a storm spike on boca-grande;\n"
+          f"serving on 2 key-affinity replicas "
+          f"(max_batch=8, max_wait=15ms, 16 MiB result cache)…")
 
     with ForecastServer(engine, workers=2, router="key-affinity",
                         max_batch=8, max_wait=0.015,
                         cache_bytes=16 << 20) as server:
-        futures, lock = [], threading.Lock()
+        # replay at 4x speed; the harness paces arrivals, routes each
+        # request by its basin name, and accounts for every one
+        report = replay_trace(trace, server, factory, mode="wall",
+                              time_scale=0.25)
+        report.check()      # offered == served + cached + shed, exactly
 
-        def crowd():
-            """20 users hammering the 3 trending scenarios."""
-            crowd_rng = np.random.default_rng(1)
-            for _ in range(20):
-                time.sleep(float(crowd_rng.uniform(0, 0.004)))
-                with lock:
-                    futures.append(server.submit(
-                        trending[int(crowd_rng.integers(3))]))
+        # an ensemble request rides the same pool: members shard
+        # across the replicas' batch slots
+        storm_window = factory.basin("boca-grande").window(2.0 * 600.0)
+        ens = server.submit_ensemble(storm_window, n_members=4,
+                                     seed=7).result(timeout=120)
 
-        def steady():
-            """16 unique scenario requests, steadily paced."""
-            steady_rng = np.random.default_rng(2)
-            for _ in range(16):
-                time.sleep(0.003)
-                with lock:
-                    futures.append(server.submit(make_window(steady_rng)))
-
-        ensemble = server.submit_ensemble(trending[0], n_members=4, seed=7)
-        threads = [threading.Thread(target=crowd),
-                   threading.Thread(target=steady)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-
-        results = [f.result(timeout=120) for f in futures]
-        ens = ensemble.result(timeout=120)
-
-        # the crowd comes back: trending scenarios are now resident in
-        # the result cache, so the replay never touches the engine
-        replay = [server.submit(trending[k % 3]) for k in range(10)]
-        hits = sum(f.cache_hit for f in replay)
-        results += [f.result(timeout=120) for f in replay]
+        # the crowd comes back for the trending basin: its rolling
+        # window is resident in the result cache, so the replay wave
+        # never touches the engine
+        trending = factory.rolling("punta-gorda").current
+        replay_wave = [server.submit(trending, route_key="punta-gorda")
+                       for _ in range(10)]
+        wave_results = [f.result(timeout=120) for f in replay_wave]
+        hits = sum(f.cache_hit for f in replay_wave)
+        assert all(np.array_equal(wave_results[0].fields.zeta,
+                                  r.fields.zeta) for r in wave_results)
 
         # a new checkpoint lands: hot-swap it through the live pool.
         # The roll surges a warmed version-2 replica before draining
@@ -112,16 +103,28 @@ def main():
         # cache is invalidated (its entries came from the old weights)
         retrained = CoastalSurrogate(cfg)
         version = server.deploy(retrained)
-        swapped = server.forecast(trending[0])
+        swapped = server.forecast(storm_window)
         direct = ForecastEngine(retrained, norm).forecast_batch(
-            [trending[0]])[0]
+            [storm_window])[0]
         assert np.array_equal(swapped.fields.zeta, direct.fields.zeta), \
             "post-swap responses must be the new version's numbers"
         metrics = server.metrics()
 
-    print(f"\n  answered {len(results)} plain requests "
-          f"+ 1 ensemble ({ens.n_members} members, "
-          f"spread ζ max {ens.spread.zeta.max():.3f} m)")
+    acc = report.accounting()
+    print(f"\n  accounting             : offered {acc['offered']} == "
+          f"served {acc['served']} + cached {acc['cached']} + "
+          f"shed {acc['shed']} (lost {acc['lost']})")
+    for name in factory.basin_names:
+        b = report.per_basin[name]
+        mesh = "x".join(map(str, factory.basin(name).native_mesh))
+        workers = ",".join(map(str, sorted(b.workers))) or "-"
+        print(f"    {name:<14s} ({mesh:>7s}): offered {b.offered:>3d}  "
+              f"hit rate {b.hit_rate:4.0%}  replica[{workers}]  "
+              f"p95 {b.latency_p95_ms:.0f}ms")
+    print(f"  sustained              : {report.sustained_qps():.0f} req/s "
+          f"at 4x replay speed")
+    print(f"  ensemble               : {ens.n_members} members, "
+          f"spread ζ max {ens.spread.zeta.max():.3f} m")
     print(f"  engine forwards        : {metrics['batches']:.0f} "
           f"(mean occupancy {metrics['mean_occupancy']:.2f}, "
           f"max {metrics['max_occupancy']:.0f})")
@@ -142,11 +145,6 @@ def main():
           f"{metrics['engine_version']:.0f} ({version.source}; "
           f"{metrics['deploys']:.0f} deploy, zero downtime, "
           f"post-swap forecast bitwise ≡ new model)")
-    by_worker = server.pool.metrics.requests_by_worker()
-    print(f"  sharding               : "
-          + ", ".join(f"replica {w} served {n}"
-                      for w, n in sorted(by_worker.items()))
-          + f"; {metrics['shed_requests']:.0f} shed")
 
     batches = server.pool.metrics.batches
     if len({b.size for b in batches}) > 1:

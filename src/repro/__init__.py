@@ -12,6 +12,7 @@ Subpackages
 - :mod:`repro.physics` — water-mass-conservation verification.
 - :mod:`repro.workflow` — dual-model forecasting + hybrid AI/ROMS loop.
 - :mod:`repro.serve` — micro-batching scheduler, result cache, server.
+- :mod:`repro.scenario` — basin scenario factory + replayable traffic.
 - :mod:`repro.hpc` — platform simulation and performance models.
 - :mod:`repro.eval` — accuracy metrics and report formatting.
 """
@@ -28,6 +29,7 @@ __all__ = [
     "physics",
     "workflow",
     "serve",
+    "scenario",
     "hpc",
     "eval",
 ]

@@ -94,6 +94,10 @@ class ForecastServer:
         process behind shared-memory transport, escaping the GIL (see
         :class:`~repro.serve.pool.EngineWorkerPool` and
         ``docs/serving.md``).  Default stays ``"thread"``.
+    autostart: ``False`` makes every replica scheduler manual — no
+        worker threads; callers drive batching explicitly through
+        :meth:`flush`.  The deterministic mode the scenario harness's
+        virtual clock replays traces in.
 
     Thread safety: every public method may be called concurrently from
     any number of client threads.
@@ -108,7 +112,8 @@ class ForecastServer:
                  router: Union[str, Router] = "least-outstanding",
                  max_queue: int = 32,
                  warm_plans: Optional[bool] = None,
-                 backend: str = "thread", mp_context: str = "spawn"):
+                 backend: str = "thread", mp_context: str = "spawn",
+                 autostart: bool = True):
         if warm_plans is None:
             candidates = engine if isinstance(engine, (list, tuple)) \
                 else [engine]
@@ -117,7 +122,8 @@ class ForecastServer:
                                      max_batch=max_batch, max_wait=max_wait,
                                      max_queue=max_queue, router=router,
                                      warm_plans=warm_plans,
-                                     backend=backend, mp_context=mp_context)
+                                     backend=backend, mp_context=mp_context,
+                                     autostart=autostart)
         self.cache = ForecastCache(cache_bytes) if cache_bytes > 0 else None
         self.ocean = ocean
         self.verifier = verifier
@@ -146,8 +152,15 @@ class ForecastServer:
         return self.pool.workers[0].scheduler
 
     # -- plain forecasts ------------------------------------------------
-    def submit(self, reference: FieldWindow) -> ServedFuture:
+    def submit(self, reference: FieldWindow,
+               route_key: Optional[str] = None) -> ServedFuture:
         """Queue one forecast; cache hits complete immediately.
+
+        ``route_key`` overrides the pool routing key (the content
+        digest by default): under ``"key-affinity"`` it pins a whole
+        request *stream* — e.g. every request for one basin — to a
+        replica, while the result cache stays keyed by content, so
+        locality and dedup compose.
 
         Raises :class:`~repro.serve.pool.PoolSaturated` (with a
         ``retry_after`` hint) when admission control sheds the request.
@@ -155,8 +168,9 @@ class ForecastServer:
         if self.cache is None:
             # content digests are not free: only computed when the
             # routing policy actually reads keys
-            key = window_key(reference) if self.pool.router.uses_keys \
-                else None
+            key = route_key if route_key is not None else (
+                window_key(reference) if self.pool.router.uses_keys
+                else None)
             return self.pool.submit(reference, key=key)
         key = window_key(reference)
         cached = self.cache.get(key)
@@ -180,7 +194,8 @@ class ForecastServer:
                 leader.add_done_callback(
                     lambda fut: self._follow(follower, fut))
                 return follower
-            future = self.pool.submit(reference, key=key)
+            future = self.pool.submit(
+                reference, key=route_key if route_key is not None else key)
             self._inflight[key] = future
         # settle the cache the moment the micro-batch lands — a done
         # callback, so no pool thread sits blocked per miss
@@ -220,7 +235,17 @@ class ForecastServer:
 
     def forecast(self, reference: FieldWindow) -> ForecastResult:
         """Synchronous plain forecast."""
-        return self.submit(reference).result()
+        future = self.submit(reference)
+        if self.pool._manual:
+            self.flush()
+        return future.result()
+
+    def flush(self) -> int:
+        """Drain every replica's backlog inline (manual servers —
+        ``autostart=False``); returns the number of requests served.
+        Cache fills and dedup followers settle before this returns,
+        because completion callbacks run on the flushing thread."""
+        return self.pool.flush()
 
     # -- ensembles ------------------------------------------------------
     def submit_ensemble(self, reference: FieldWindow, n_members: int = 8,
@@ -333,9 +358,9 @@ class ForecastServer:
         ``engine_version``/``deploys``/``scale_events`` from the
         control plane) plus cache effectiveness."""
         out = self.pool.metrics.summary()
+        out["deduped_requests"] = self.deduped_requests
         if self.cache is not None:
             out.update({
-                "deduped_requests": self.deduped_requests,
                 "cache_hits": self.cache.stats.hits,
                 "cache_misses": self.cache.stats.misses,
                 "cache_hit_rate": self.cache.stats.hit_rate,

@@ -12,7 +12,9 @@ from contextlib import contextmanager
 import numpy as np
 import pytest
 
-from repro.data import SlidingWindowDataset, build_archives
+from dataclasses import replace
+
+from repro.data import Normalizer, SlidingWindowDataset, build_archives
 from repro.ocean import (
     OceanConfig,
     RomsLikeModel,
@@ -23,6 +25,8 @@ from repro.ocean import (
     synth_estuary_bathymetry,
 )
 from repro.swin import CoastalSurrogate, SurrogateConfig
+from repro.workflow import ForecastEngine
+from repro.workflow.engine import FieldWindow
 
 # ----------------------------------------------------------------------
 # geometry / solver fixtures
@@ -104,6 +108,66 @@ def tiny_surrogate(tiny_surrogate_config):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(12345)
+
+
+# ----------------------------------------------------------------------
+# serving fixtures: the tiny-mesh window/engine factory every serve,
+# scenario, and operations test shares.  Session-scoped where bitwise-
+# safe: engines are read-only during inference and windows are never
+# mutated by consumers (schedulers stack copies).
+# ----------------------------------------------------------------------
+
+T = 4
+H, W, D = 15, 14, 6          # serving wire mesh (padded to 16×16 inside)
+VARS = ("u3", "v3", "w3", "zeta")
+
+
+def make_window(seed, t=T, h=H, w=W, d=D):
+    r = np.random.default_rng(seed)
+    return FieldWindow(r.normal(size=(t, h, w, d)),
+                       r.normal(size=(t, h, w, d)),
+                       r.normal(size=(t, h, w, d)),
+                       r.normal(size=(t, h, w)))
+
+
+def assert_windows_equal(a, b):
+    for var in VARS:
+        np.testing.assert_array_equal(getattr(a, var), getattr(b, var))
+
+
+@pytest.fixture(scope="session")
+def identity_norm():
+    return Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
+
+
+@pytest.fixture(scope="session")
+def engine(tiny_surrogate, identity_norm):
+    """The shared serving engine over the session surrogate."""
+    return ForecastEngine(tiny_surrogate, identity_norm)
+
+
+@pytest.fixture(scope="session")
+def windows():
+    return [make_window(seed) for seed in range(12)]
+
+
+@pytest.fixture(scope="session")
+def engine_factory(tiny_surrogate_config, identity_norm):
+    """Build fresh tiny engines: ``init_seed`` re-seeds the weight
+    init, ``perturb`` adds seeded noise to the weights — either forces
+    two engines numerically apart (hot-swap/version-pinning tests)."""
+    def build(init_seed=0, perturb=None, scale=0.05):
+        cfg = tiny_surrogate_config if init_seed == 0 \
+            else replace(tiny_surrogate_config, seed=init_seed)
+        model = CoastalSurrogate(cfg)
+        if perturb is not None:
+            r = np.random.default_rng(perturb)
+            state = {k: v + r.normal(scale=scale, size=v.shape)
+                     .astype(v.dtype)
+                     for k, v in model.state_dict().items()}
+            model.load_state_dict(state)
+        return ForecastEngine(model, identity_norm)
+    return build
 
 
 # ----------------------------------------------------------------------

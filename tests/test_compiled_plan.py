@@ -12,7 +12,7 @@ import threading
 
 import numpy as np
 import pytest
-from test_serve_scheduler import (
+from conftest import (  # noqa: F401 — shared serving fixtures
     VARS,
     assert_windows_equal,
     make_window,
@@ -48,15 +48,13 @@ def assert_windows_bitwise(a, b):
 
 
 @pytest.fixture()
-def engine(tiny_surrogate):
-    """A fresh engine per test so plan caches/counters start empty."""
-    norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
-    return ForecastEngine(tiny_surrogate, norm)
+def engine(tiny_surrogate, identity_norm):
+    """A fresh engine per test so plan caches/counters start empty.
 
-
-@pytest.fixture(scope="module")
-def windows():
-    return [make_window(seed) for seed in range(12)]
+    Shadows the session-scoped conftest ``engine`` on purpose: plan
+    tests inspect cache/counter state and need it empty.
+    """
+    return ForecastEngine(tiny_surrogate, identity_norm)
 
 
 def _fn(a, b):

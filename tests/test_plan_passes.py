@@ -16,7 +16,7 @@ import pickle
 
 import numpy as np
 import pytest
-from test_serve_scheduler import VARS, make_window
+from conftest import VARS, make_window
 
 from repro.data import Normalizer
 from repro.nn import Linear, gelu

@@ -14,13 +14,11 @@ import threading
 
 import numpy as np
 import pytest
-from test_serve_scheduler import (
-    VARS,
+from conftest import (  # noqa: F401 — shared serving fixtures
     assert_windows_equal,
     make_window,
 )
 
-from repro.data import Normalizer
 from repro.hpc import PoolCapacityModel, ServingCapacityModel
 from repro.serve import (
     AutoScaler,
@@ -30,30 +28,13 @@ from repro.serve import (
     LoadSample,
 )
 from repro.train import load_model_like, save_checkpoint
-from repro.workflow import ForecastEngine
-
-
-@pytest.fixture(scope="module")
-def norm():
-    return Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
 
 
 @pytest.fixture()
-def engine_pair(tiny_surrogate_config, norm):
+def engine_pair(engine_factory):
     """Two engines over same-config models with *different* weights."""
-    from repro.swin import CoastalSurrogate
-
-    rng = np.random.default_rng(7)
-    models = []
-    for _ in range(2):
-        model = CoastalSurrogate(tiny_surrogate_config)
-        # force the weights apart so v1 vs v2 outputs actually differ
-        state = {k: v + rng.normal(scale=0.05, size=v.shape)
-                 .astype(v.dtype) for k, v in model.state_dict().items()}
-        model.load_state_dict(state)
-        models.append(model)
-    return (ForecastEngine(models[0], norm),
-            ForecastEngine(models[1], norm))
+    # distinct perturbation seeds force v1 vs v2 outputs apart
+    return engine_factory(perturb=71), engine_factory(perturb=72)
 
 
 def manual_pool(engine, **kwargs):

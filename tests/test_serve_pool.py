@@ -12,13 +12,11 @@ import threading
 
 import numpy as np
 import pytest
-from test_serve_scheduler import (
-    VARS,
+from conftest import (  # noqa: F401 — shared serving fixtures
     assert_windows_equal,
     make_window,
 )
 
-from repro.data import Normalizer
 from repro.hpc import PoolCapacityModel, ServingCapacityModel
 from repro.serve import (
     EngineWorkerPool,
@@ -29,20 +27,9 @@ from repro.serve import (
     window_key,
 )
 from repro.serve.pool import stable_key_hash
-from repro.workflow import EnsembleForecaster, ForecastEngine
+from repro.workflow import EnsembleForecaster
 
 POLICIES = ("round-robin", "least-outstanding", "key-affinity")
-
-
-@pytest.fixture(scope="module")
-def engine(tiny_surrogate):
-    norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
-    return ForecastEngine(tiny_surrogate, norm)
-
-
-@pytest.fixture(scope="module")
-def windows():
-    return [make_window(seed) for seed in range(12)]
 
 
 def manual_pool(engine, **kwargs):

@@ -26,11 +26,7 @@ from repro.serve.autoscale import AutoScaler
 from repro.serve.scheduler import MicroBatchScheduler
 from repro.tensor.plan import BufferArena, ExecutionPlan, PlanExecutor, trace
 
-from test_serve_scheduler import (          # noqa: F401 — shared fixtures
-    assert_windows_equal,
-    engine,
-    windows,
-)
+from conftest import assert_windows_equal   # noqa: F401 — shared helper
 
 # the satellite leak requirement: any resource_tracker or cleanup
 # UserWarning raised during these tests is a failure, not noise

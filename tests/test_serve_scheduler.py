@@ -14,9 +14,15 @@ import threading
 
 import numpy as np
 import pytest
-from conftest import count_forwards
+from conftest import (  # noqa: F401 — shared serving fixtures
+    D,
+    H,
+    T,
+    assert_windows_equal,
+    count_forwards,
+    make_window,
+)
 
-from repro.data import Normalizer
 from repro.hpc import ServingCapacityModel
 from repro.serve import (
     ForecastCache,
@@ -25,36 +31,8 @@ from repro.serve import (
     window_key,
 )
 from repro.serve.scheduler import BatchRecord
-from repro.workflow import EnsembleForecaster, ForecastEngine, HybridWorkflow
+from repro.workflow import EnsembleForecaster, HybridWorkflow
 from repro.workflow.engine import FieldWindow
-
-T = 4
-H, W, D = 15, 14, 6
-VARS = ("u3", "v3", "w3", "zeta")
-
-
-@pytest.fixture(scope="module")
-def engine(tiny_surrogate):
-    norm = Normalizer({v: 0.0 for v in VARS}, {v: 1.0 for v in VARS})
-    return ForecastEngine(tiny_surrogate, norm)
-
-
-def make_window(seed, t=T, h=H, w=W, d=D):
-    r = np.random.default_rng(seed)
-    return FieldWindow(r.normal(size=(t, h, w, d)),
-                       r.normal(size=(t, h, w, d)),
-                       r.normal(size=(t, h, w, d)),
-                       r.normal(size=(t, h, w)))
-
-
-@pytest.fixture(scope="module")
-def windows():
-    return [make_window(seed) for seed in range(12)]
-
-
-def assert_windows_equal(a, b):
-    for var in VARS:
-        np.testing.assert_array_equal(getattr(a, var), getattr(b, var))
 
 
 def assert_batches_bitwise(scheduler, engine, by_id):
@@ -101,6 +79,9 @@ class TestEquivalence:
 
     def test_threaded_full_batch_bitwise_equal_direct(self, engine,
                                                       windows):
+        # forward-count tests need the eager path: the session engine
+        # may arrive with plans compiled by earlier modules
+        engine.clear_plans()
         with MicroBatchScheduler(engine, max_batch=4, max_wait=30.0) as s:
             with count_forwards(engine.model) as calls:
                 futures = [s.submit(w) for w in windows[:4]]
@@ -185,6 +166,7 @@ class TestFlushPolicy:
     @pytest.mark.parametrize("n,max_batch", [(10, 4), (8, 8), (5, 1)])
     def test_forward_count_is_ceil_n_over_max_batch(self, engine, n,
                                                     max_batch):
+        engine.clear_plans()        # count forwards ⇒ force eager path
         s = MicroBatchScheduler(engine, max_batch=max_batch, max_wait=10.0,
                                 autostart=False)
         futures = [s.submit(make_window(k)) for k in range(n)]
