@@ -5,9 +5,25 @@ cluster specifications, the memory-tier model behind Table II, the
 simulated-MPI domain decomposition of the solver (verified bit-exact),
 the training-pipeline ablation model (Fig. 9), the ROMS cost model
 (Table I, Fig. 8), and the multi-GPU weak-scaling model (Fig. 10).
+:mod:`repro.hpc.fabric` carries the serving tier across hosts: a
+length-prefixed descriptor-frame transport with a deterministic
+SimComm-backed fabric and a real TCP-loopback fabric (see
+:mod:`repro.serve.hostpool`).
 """
 
 from .cluster import ClusterSpec, DGX_A100_CLUSTER, GpuSpec, NodeSpec
+from .fabric import (
+    FabricClosed,
+    FabricError,
+    FabricTimeout,
+    Frame,
+    FrameError,
+    SimEndpoint,
+    SocketEndpoint,
+    pack_frame,
+    sim_pair,
+    unpack_frame,
+)
 from .memory import (
     MemoryFootprint,
     Tier,
@@ -55,6 +71,16 @@ __all__ = [
     "BlockDecomposition",
     "DecomposedShallowWater",
     "halo_exchange_bytes",
+    "FabricError",
+    "FrameError",
+    "FabricTimeout",
+    "FabricClosed",
+    "Frame",
+    "pack_frame",
+    "unpack_frame",
+    "SimEndpoint",
+    "SocketEndpoint",
+    "sim_pair",
     "PipelineParams",
     "PipelineConfig",
     "TrainingPipelineModel",

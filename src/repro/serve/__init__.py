@@ -18,6 +18,11 @@ that converts per-call speed into system throughput:
   plans shipped once, arena in shared memory, per-batch traffic as
   shared-memory descriptors), escaping the GIL the thread backend
   serialises on;
+- :mod:`repro.serve.hostpool` — the ``backend="host"`` execution
+  tier: each replica's engine on a remote rank behind the
+  :mod:`repro.hpc.fabric` descriptor transport (socket wire or
+  deterministic sim fabric), with pipelined request/response framing
+  and heartbeat-based death detection;
 - :mod:`repro.serve.autoscale` — load-adaptive ``AutoScaler`` growing
   and shrinking the live worker count between bounds;
 - :mod:`repro.serve.server` — routes plain, ensemble, and hybrid
@@ -43,6 +48,11 @@ from .pool import (
     PoolSaturated,
     RoundRobinRouter,
     Router,
+)
+from .hostpool import (
+    HostWorker,
+    HostWorkerDied,
+    HostWorkerError,
 )
 from .procpool import (
     ProcessWorker,
@@ -82,6 +92,9 @@ __all__ = [
     "ProcessWorkerError",
     "ProcessWorkerDied",
     "ShmArena",
+    "HostWorker",
+    "HostWorkerError",
+    "HostWorkerDied",
     "AutoScaler",
     "LoadSample",
     "ScaleEvent",

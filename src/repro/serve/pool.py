@@ -74,6 +74,7 @@ import numpy as np
 from ..hpc.serving import ServingCapacityModel
 from ..tensor import plan_passes as _passes
 from ..workflow.engine import FieldWindow, ForecastResult
+from .hostpool import HostWorker
 from .procpool import ProcessWorker
 from .scheduler import MicroBatchScheduler, ServedFuture, ServeMetrics
 
@@ -427,6 +428,32 @@ class PoolMetrics:
         (requests out + results back); 0 for a pure thread pool."""
         return sum(m.marshal_bytes for m in self.per_worker)
 
+    @property
+    def net_wait_s(self) -> float:
+        """Total network-transport overhead across every host-backed
+        replica (batch round-trip minus remote engine time); 0.0 for
+        thread and process pools."""
+        return sum(m.net_wait_s for m in self.per_worker)
+
+    @property
+    def frame_bytes(self) -> int:
+        """Total bytes framed onto the fabric wire (request frames out
+        + result frames back); 0 off the host backend."""
+        return sum(m.frame_bytes for m in self.per_worker)
+
+    @property
+    def inflight_depth(self) -> int:
+        """Deepest request/response pipeline any host replica reached
+        (≥ 2 means the network hop was genuinely overlapped with
+        compute); 0 off the host backend."""
+        return max((m.inflight_depth for m in self.per_worker), default=0)
+
+    @property
+    def reduced_batches(self) -> int:
+        """Micro-batches served by an accuracy-gated reduced-precision
+        plan variant (``serve_reduced=True`` routing)."""
+        return sum(m.reduced_batches for m in self.per_worker)
+
     def _pooled_latencies(self) -> List[float]:
         return [r.latency_seconds for m in self.per_worker
                 for r in m.requests]
@@ -485,6 +512,10 @@ class PoolMetrics:
             "engine_seconds": self.engine_seconds,
             "ipc_wait_s": self.ipc_wait_s,
             "marshal_bytes": self.marshal_bytes,
+            "net_wait_s": self.net_wait_s,
+            "frame_bytes": self.frame_bytes,
+            "inflight_depth": self.inflight_depth,
+            "reduced_batches": self.reduced_batches,
             "spawn_seconds_mean": self._pool.mean_spawn_seconds,
         }
 
@@ -524,14 +555,28 @@ class EngineWorkerPool:
         :class:`~repro.serve.procpool.ProcessWorker`: a child process
         holding its own copy of the weights and compiled plans (arena
         in shared memory), so replicas genuinely run in parallel.
-        Results are bitwise-identical either way; everything above the
-        executor — routing, admission, versioned deploys, autoscaling —
-        is backend-agnostic.  Requires engines that expose
+        ``"host"`` wraps each engine in a
+        :class:`~repro.serve.hostpool.HostWorker`: a remote "rank"
+        reached over the :mod:`repro.hpc.fabric` descriptor transport
+        (socket loopback by default, in-process sim fabric for
+        deterministic tests), with pipelined framing and heartbeat
+        death detection.  Results are bitwise-identical on all three;
+        everything above the executor — routing, admission, versioned
+        deploys, autoscaling — is backend-agnostic.  Process and host
+        backends require engines that expose
         ``model``/``normalizer``/``boundary_width`` (i.e. real
         :class:`~repro.workflow.engine.ForecastEngine` replicas).
-    mp_context: multiprocessing start method for the process backend
-        (default ``"spawn"``; see
+    mp_context: multiprocessing start method for the process/host
+        backends (default ``"spawn"``; see
         :class:`~repro.serve.procpool.ProcessWorker`).
+    fabric: host-backend transport — ``"socket"`` (real TCP loopback
+        wire) or ``"sim"`` (deterministic in-process fabric with
+        SimComm byte accounting).  Ignored by other backends.
+    serve_reduced: route batches to installed accuracy-gated
+        reduced-precision plan variants
+        (:meth:`~repro.workflow.engine.ForecastEngine.compile_reduced`)
+        instead of the exact plans.  Off by default — results stay
+        bitwise-identical unless this is explicitly turned on.
 
     Thread safety: :meth:`submit` and :meth:`forecast_batch` may be
     called from any number of client threads; routing state is guarded
@@ -547,7 +592,8 @@ class EngineWorkerPool:
                  max_queue: int = 32,
                  router: Union[str, Router] = "least-outstanding",
                  autostart: bool = True, warm_plans: bool = False,
-                 backend: str = "thread", mp_context: str = "spawn"):
+                 backend: str = "thread", mp_context: str = "spawn",
+                 fabric: str = "socket", serve_reduced: bool = False):
         if hasattr(engines, "forecast_batch"):
             engines = [engines]
         engines = list(engines)
@@ -579,11 +625,17 @@ class EngineWorkerPool:
         self._max_batch = int(max_batch)
         self._max_wait = float(max_wait)
         self._warm_plans = bool(warm_plans)
-        if backend not in ("thread", "process"):
+        if backend not in ("thread", "process", "host"):
             raise ValueError(
-                f"unknown backend {backend!r}; use 'thread' or 'process'")
+                f"unknown backend {backend!r}; use 'thread', 'process' "
+                "or 'host'")
+        if fabric not in ("socket", "sim"):
+            raise ValueError(
+                f"unknown fabric {fabric!r}; use 'socket' or 'sim'")
         self.backend = backend
         self._mp_context = mp_context
+        self._fabric = fabric
+        self._serve_reduced = bool(serve_reduced)
         self._spawn_log: List[float] = []
         distinct = []
         for e in engines:
@@ -825,9 +877,22 @@ class EngineWorkerPool:
                 engine,
                 warm_batches=_passes.plan_buckets(self._max_batch)
                 if warm else (),
-                mp_context=self._mp_context)
+                mp_context=self._mp_context,
+                serve_reduced=self._serve_reduced)
             with self._route_lock:
                 self._spawn_log.append(executor.spawn_seconds)
+        elif self.backend == "host":
+            executor = HostWorker(
+                engine, fabric=self._fabric,
+                warm_batches=_passes.plan_buckets(self._max_batch)
+                if warm else (),
+                mp_context=self._mp_context,
+                serve_reduced=self._serve_reduced)
+            with self._route_lock:
+                self._spawn_log.append(executor.spawn_seconds)
+        elif self._serve_reduced and hasattr(engine, "serve_reduced"):
+            # thread backend: the engine itself routes
+            engine.serve_reduced = True
         scheduler = MicroBatchScheduler(
             executor, max_batch=self._max_batch, max_wait=self._max_wait,
             autostart=not self._manual, warm_plans=warm)

@@ -297,8 +297,10 @@ def _child_main(conn, payload_bytes: bytes) -> None:
         payload["model"], payload["normalizer"],
         payload["boundary_width"],
         optimize_plans=payload.get("optimize_plans", True),
-        bucket_partial=payload.get("bucket_partial", True))
+        bucket_partial=payload.get("bucket_partial", True),
+        serve_reduced=payload.get("serve_reduced", False))
     plans: Dict[int, ExecutionPlan] = payload["plans"]
+    reduced_plans: Dict[int, ExecutionPlan] = payload.get("reduced", {})
     arena_bytes = max(
         [p.arena_total for p in plans.values()] + [payload["arena_hint"]])
     arena = ShmArena(arena_bytes, name=f"{token}-arena")
@@ -306,6 +308,9 @@ def _child_main(conn, payload_bytes: bytes) -> None:
     for plan in plans.values():
         key = plan.slots[plan.inputs[0]].shape
         engine._plans[key] = CompiledForward(plan, arena)
+    for plan in reduced_plans.values():
+        key = plan.slots[plan.inputs[0]].shape
+        engine._reduced[key] = CompiledForward(plan, arena)
 
     response = _Segment(token, "r")
     request = _Attached()
@@ -346,12 +351,14 @@ def _child_main(conn, payload_bytes: bytes) -> None:
                     conn.send(("ok", seg.name, out_descs, batch_seconds,
                                [r.inference_seconds for r in results],
                                [r.compiled for r in results],
-                               [r.plan_batch for r in results]))
+                               [r.plan_batch for r in results],
+                               [r.reduced for r in results]))
                 elif op == "compile":
                     engine.compile(msg[1])
                     conn.send(("ok", engine.compiled_batches))
                 elif op == "compile_buckets":
-                    engine.compile_buckets(msg[1])
+                    engine.compile_buckets(
+                        msg[1], histogram=msg[2] if len(msg) > 2 else None)
                     conn.send(("ok", engine.compiled_batches))
                 elif op == "plan_stats":
                     conn.send(("ok", engine.plan_stats()))
@@ -413,7 +420,8 @@ class ProcessWorker:
     def __init__(self, engine, warm_batches: Sequence[int] = (),
                  mp_context: str = "spawn", spawn_timeout: float = 120.0,
                  on_death: Optional[Callable[["ProcessWorker"], None]] = None,
-                 request_timeout: Optional[float] = None):
+                 request_timeout: Optional[float] = None,
+                 serve_reduced: bool = False):
         for attr in ("model", "normalizer", "boundary_width"):
             if not hasattr(engine, attr):
                 raise TypeError(
@@ -441,6 +449,11 @@ class ProcessWorker:
                       | set(getattr(engine, "compiled_batches", None) or []))
         plans = {b: engine.compile(b).plan for b in warm}
         self._compiled = set(warm)
+        reduced = {}
+        if hasattr(engine, "_reduced"):
+            with engine._plan_lock:
+                reduced = {k[0]: cf.plan
+                           for k, cf in engine._reduced.items()}
         payload = pickle.dumps({
             "token": self._token,
             "model": engine.model,
@@ -451,6 +464,9 @@ class ProcessWorker:
             # itself) exactly the way the in-process tier would
             "optimize_plans": getattr(engine, "optimize_plans", True),
             "bucket_partial": getattr(engine, "bucket_partial", True),
+            # route to the (gated, shipped) reduced variants on request
+            "serve_reduced": bool(serve_reduced),
+            "reduced": reduced,
             "plans": plans,
             "arena_hint": max((p.arena_total for p in plans.values()),
                               default=0),
@@ -531,15 +547,16 @@ class ProcessWorker:
                 raise ProcessWorkerError(
                     f"worker pid {self.pid} failed a batch:\n{msg[1]}")
             _, res_name, out_descs, batch_seconds, secs, compiled, \
-                plan_batches = msg
+                plan_batches, reduced = msg
             res_seg = self._attach_response(res_name)
             results = []
-            for wdescs, sec, comp, pb in zip(out_descs, secs, compiled,
-                                             plan_batches):
+            for wdescs, sec, comp, pb, rd in zip(out_descs, secs,
+                                                 compiled, plan_batches,
+                                                 reduced):
                 fields = FieldWindow(*(_read(res_seg, d, copy=True)
                                        for d in wdescs))
                 results.append(ForecastResult(fields, sec, compiled=comp,
-                                              plan_batch=pb))
+                                              plan_batch=pb, reduced=rd))
                 self.marshal_bytes += sum(
                     getattr(fields, v).nbytes
                     for v in ("u3", "v3", "w3", "zeta"))
@@ -563,18 +580,28 @@ class ProcessWorker:
                     f"compile({batch}) failed in worker:\n{msg[1]}")
             self._compiled.update(msg[1])
 
-    def compile_buckets(self, max_batch: int) -> None:
-        """Have the child compile the whole
+    def compile_buckets(self, max_batch: Optional[int] = None,
+                        histogram=None) -> None:
+        """Have the child compile a bucket set — the canonical
         :func:`~repro.tensor.plan_passes.plan_buckets` set for
-        ``max_batch``, so its partial micro-batches pad into compiled
-        buckets instead of running eager."""
+        ``max_batch``, or a histogram-tuned one (see
+        :meth:`~repro.workflow.engine.ForecastEngine.compile_buckets`)
+        — so its partial micro-batches pad into compiled buckets
+        instead of running eager."""
         from ..tensor.plan_passes import plan_buckets
-        max_batch = int(max_batch)
         with self._lock:
-            if set(plan_buckets(max_batch)) <= self._compiled:
+            if histogram is None and max_batch is not None and \
+                    set(plan_buckets(int(max_batch))) <= self._compiled:
                 return
             self._ensure_alive()
-            self._send(("compile_buckets", max_batch))
+            if histogram is None:
+                self._send(("compile_buckets", int(max_batch)))
+            else:
+                hist = dict(histogram) if isinstance(histogram, dict) \
+                    else list(histogram)
+                self._send(("compile_buckets",
+                            None if max_batch is None else int(max_batch),
+                            hist))
             msg = self._recv(timeout=self.request_timeout)
             if msg[0] == "err":
                 raise ProcessWorkerError(

@@ -145,6 +145,9 @@ class BatchRecord:
     #: batch size of the plan bucket that served it (= ``size`` on an
     #: exact hit, larger when the batch padded up); ``None`` when eager
     plan_batch: Optional[int] = None
+    #: served by an accuracy-gated reduced-precision plan variant
+    #: (only possible with ``serve_reduced`` routing on)
+    reduced: bool = False
 
 
 @dataclass(frozen=True)
@@ -176,6 +179,16 @@ class ServeMetrics:
     #: cumulative bytes marshalled through the shared-memory transport
     #: (request fields out + result fields back); 0 for in-process.
     marshal_bytes: int = 0
+    #: cumulative network overhead [s] when the executor runs behind a
+    #: fabric endpoint (:class:`~repro.serve.hostpool.HostWorker`):
+    #: batch round-trip wall-clock minus remote-reported engine time.
+    net_wait_s: float = 0.0
+    #: cumulative bytes framed onto the fabric wire (request frames
+    #: out + result frames back); 0 off the host backend.
+    frame_bytes: int = 0
+    #: deepest request/response pipeline the host transport reached
+    #: (≥ 2 means the network hop genuinely overlapped with compute).
+    inflight_depth: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -194,6 +207,13 @@ class ServeMetrics:
         """Micro-batches served by a compiled inference plan (plan-cache
         hits at the granularity metrics are kept at)."""
         return sum(b.compiled for b in self.batches)
+
+    @property
+    def reduced_batches(self) -> int:
+        """Micro-batches served by an accuracy-gated reduced-precision
+        plan variant (``serve_reduced`` routing); 0 when the knob is
+        off — the default, bitwise-exact configuration."""
+        return sum(b.reduced for b in self.batches)
 
     @property
     def padded_rows(self) -> int:
@@ -264,6 +284,10 @@ class ServeMetrics:
             "engine_seconds": sum(b.seconds for b in self.batches),
             "ipc_wait_s": self.ipc_wait_s,
             "marshal_bytes": self.marshal_bytes,
+            "net_wait_s": self.net_wait_s,
+            "frame_bytes": self.frame_bytes,
+            "inflight_depth": self.inflight_depth,
+            "reduced_batches": self.reduced_batches,
         }
 
 
@@ -497,14 +521,28 @@ class MicroBatchScheduler:
             getattr(results[0], "compiled", False)
         plan_batch = getattr(results[0], "plan_batch", None) \
             if compiled else None
+        reduced = failure is None and bool(results) and \
+            getattr(results[0], "reduced", False)
         transport = getattr(self.engine, "transport_stats", None)
         if transport is not None:
-            # process-backed executors keep cumulative counters; mirror
-            # them (absolute, not incremental) into the metrics log
+            # process/host-backed executors keep cumulative counters;
+            # mirror whichever this transport reports (absolute, not
+            # incremental) into the metrics log
             try:
                 stats = transport()
-                self.metrics.ipc_wait_s = float(stats["ipc_wait_s"])
-                self.metrics.marshal_bytes = int(stats["marshal_bytes"])
+                if "ipc_wait_s" in stats:
+                    self.metrics.ipc_wait_s = float(stats["ipc_wait_s"])
+                if "marshal_bytes" in stats:
+                    self.metrics.marshal_bytes = \
+                        int(stats["marshal_bytes"])
+                if "net_wait_s" in stats:
+                    self.metrics.net_wait_s = float(stats["net_wait_s"])
+                if "frame_bytes" in stats:
+                    self.metrics.frame_bytes = int(stats["frame_bytes"])
+                if "inflight_depth" in stats:
+                    self.metrics.inflight_depth = max(
+                        self.metrics.inflight_depth,
+                        int(stats["inflight_depth"]))
             except Exception:    # noqa: BLE001 — metrics must not fail a batch
                 pass
         with self._lock:
@@ -515,7 +553,7 @@ class MicroBatchScheduler:
                 request_ids=tuple(r.future.request_id for r in batch),
                 seconds=seconds, trigger=trigger,
                 failed=failure is not None, compiled=compiled,
-                plan_batch=plan_batch))
+                plan_batch=plan_batch, reduced=reduced))
             for req in batch:
                 self.metrics.requests.append(RequestRecord(
                     request_id=req.future.request_id, batch_index=index,

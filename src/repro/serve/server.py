@@ -89,11 +89,18 @@ class ForecastServer:
         The default (``None``) warms exactly when every engine supports
         ``compile`` — i.e. real
         :class:`~repro.workflow.engine.ForecastEngine` replicas.
-    backend, mp_context: replica execution tier —
+    backend, mp_context, fabric: replica execution tier —
         ``backend="process"`` runs each replica's engine in a child
-        process behind shared-memory transport, escaping the GIL (see
-        :class:`~repro.serve.pool.EngineWorkerPool` and
-        ``docs/serving.md``).  Default stays ``"thread"``.
+        process behind shared-memory transport, escaping the GIL;
+        ``backend="host"`` runs it on a remote rank behind the
+        :mod:`repro.hpc.fabric` descriptor transport (``fabric``
+        selects ``"socket"`` wire or the deterministic ``"sim"``
+        fabric).  See :class:`~repro.serve.pool.EngineWorkerPool` and
+        ``docs/serving.md``.  Default stays ``"thread"``.
+    serve_reduced: route batches to installed accuracy-gated
+        reduced-precision plan variants (off by default — results stay
+        bitwise-identical unless explicitly opted in; see
+        :meth:`~repro.workflow.engine.ForecastEngine.compile_reduced`).
     autostart: ``False`` makes every replica scheduler manual — no
         worker threads; callers drive batching explicitly through
         :meth:`flush`.  The deterministic mode the scenario harness's
@@ -113,6 +120,7 @@ class ForecastServer:
                  max_queue: int = 32,
                  warm_plans: Optional[bool] = None,
                  backend: str = "thread", mp_context: str = "spawn",
+                 fabric: str = "socket", serve_reduced: bool = False,
                  autostart: bool = True):
         if warm_plans is None:
             candidates = engine if isinstance(engine, (list, tuple)) \
@@ -123,6 +131,8 @@ class ForecastServer:
                                      max_queue=max_queue, router=router,
                                      warm_plans=warm_plans,
                                      backend=backend, mp_context=mp_context,
+                                     fabric=fabric,
+                                     serve_reduced=serve_reduced,
                                      autostart=autostart)
         self.cache = ForecastCache(cache_bytes) if cache_bytes > 0 else None
         self.ocean = ocean

@@ -28,6 +28,7 @@ from .plan_passes import (
     cast_plan,
     optimize,
     plan_buckets,
+    plan_buckets_from_histogram,
 )
 from .tensor import (
     Tensor,
@@ -71,6 +72,7 @@ __all__ = [
     "trace",
     "tracing",
     "plan_buckets",
+    "plan_buckets_from_histogram",
     "optimize",
     "cast_plan",
 ]

@@ -114,6 +114,10 @@ class ForecastResult:
     #: versioned pool (:class:`~repro.serve.pool.EngineWorkerPool`);
     #: ``None`` for direct engine calls
     engine_version: Optional[int] = None
+    #: whether a tolerance-gated reduced-precision plan variant served
+    #: this result (only possible with ``serve_reduced`` routing on;
+    #: such results are accuracy-gated, not bitwise)
+    reduced: bool = False
 
 
 class CompiledForward:
@@ -188,12 +192,17 @@ class ForecastEngine:
     def __init__(self, model: CoastalSurrogate, normalizer: Normalizer,
                  boundary_width: int = 1, *,
                  optimize_plans: bool = True,
-                 bucket_partial: bool = True):
+                 bucket_partial: bool = True,
+                 serve_reduced: bool = False):
         self.model = model
         self.normalizer = normalizer
         self.boundary_width = boundary_width
         self.optimize_plans = optimize_plans
         self.bucket_partial = bucket_partial
+        # routing knob: prefer installed reduced-precision variants
+        # (every one passed its accuracy gate) over the exact plans;
+        # off by default — the bitwise guarantee stays the default
+        self.serve_reduced = serve_reduced
         cfg = model.config
         self.pad_hw = (cfg.mesh[0], cfg.mesh[1])
         self._plans: Dict[Tuple[int, ...], CompiledForward] = {}
@@ -210,6 +219,7 @@ class ForecastEngine:
         self.padded_rows = 0     # pad rows added by bucketing
         self.total_rows = 0      # episode rows actually computed
         self.bucket_hits: Dict[int, int] = {}  # plan batch -> hits
+        self.reduced_hits = 0    # forwards served by a reduced variant
 
     @property
     def time_steps(self) -> int:
@@ -229,7 +239,8 @@ class ForecastEngine:
         """
         return ForecastEngine(model, self.normalizer, self.boundary_width,
                               optimize_plans=self.optimize_plans,
-                              bucket_partial=self.bucket_partial)
+                              bucket_partial=self.bucket_partial,
+                              serve_reduced=self.serve_reduced)
 
     # ------------------------------------------------------------------
     # compiled plans
@@ -283,17 +294,31 @@ class ForecastEngine:
                 self._pass_stats[batch] = pass_stats
             return winner
 
-    def compile_buckets(self, max_batch: int) -> List[int]:
-        """Compile the canonical bucket set for a ``max_batch`` caller.
+    def compile_buckets(self, max_batch: Optional[int] = None,
+                        histogram=None) -> List[int]:
+        """Compile a bucket set so partial batches pad into plans.
 
-        Compiles a plan for every size in
-        :func:`~repro.tensor.plan_passes.plan_buckets` (powers of two
-        up to and including ``max_batch``), so :meth:`forecast_batch`
-        hits the plan cache at any arrival pattern: a partial batch
-        pads into the nearest bucket instead of falling back to eager.
-        Returns the bucket sizes, ascending.
+        Without ``histogram``, compiles the canonical
+        :func:`~repro.tensor.plan_passes.plan_buckets` set (powers of
+        two up to and including ``max_batch``).  Given a ``histogram``
+        — a ``{batch_size: count}`` mapping (e.g.
+        ``ServeMetrics.occupancy_histogram()``) or an iterable of
+        observed batch sizes — the buckets come from
+        :func:`~repro.tensor.plan_passes.plan_buckets_from_histogram`
+        instead, minimising expected pad rows for the observed
+        arrival pattern.  Either way :meth:`forecast_batch` hits the
+        plan cache at any observed size: a partial batch pads into the
+        nearest bucket instead of falling back to eager.  Returns the
+        bucket sizes, ascending.
         """
-        buckets = _passes.plan_buckets(max_batch)
+        if histogram is not None:
+            buckets = _passes.plan_buckets_from_histogram(
+                histogram, max_batch=max_batch)
+        elif max_batch is not None:
+            buckets = _passes.plan_buckets(max_batch)
+        else:
+            raise ValueError(
+                "compile_buckets() needs max_batch or histogram")
         for b in buckets:
             self.compile(b)
         return list(buckets)
@@ -331,7 +356,14 @@ class ForecastEngine:
                 f"compile_reduced() gate needs exactly {batch} reference "
                 f"windows, got {len(references)}")
 
-        exact = self.forecast_batch(references)
+        # the gate baseline must be the bitwise path even if an earlier
+        # variant for this shape is installed and routing is on
+        prior_route = self.serve_reduced
+        self.serve_reduced = False
+        try:
+            exact = self.forecast_batch(references)
+        finally:
+            self.serve_reduced = prior_route
         variant_plan = _passes.cast_plan(base.plan, dtype)
         candidate = CompiledForward(variant_plan, self._arena)
 
@@ -345,7 +377,8 @@ class ForecastEngine:
         finally:
             candidate.release(executor)
         approx = self._finalize(references, vol, zet, 0.0,
-                                compiled=True, plan_batch=batch)
+                                compiled=True, plan_batch=batch,
+                                reduced=True)
 
         errors = compute_errors_many([r.fields for r in approx],
                                      [r.fields for r in exact])
@@ -413,6 +446,7 @@ class ForecastEngine:
             bucket_hits = dict(self.bucket_hits)
             pass_stats = dict(self._pass_stats)
             reduced = sorted(k[0] for k in self._reduced)
+            reduced_hits = self.reduced_hits
         return {
             "plans": len(plans),
             "batches": sorted(k[0] for k in plans),
@@ -424,6 +458,8 @@ class ForecastEngine:
             "bucket_hits": bucket_hits,
             "pass_stats": pass_stats,
             "reduced_batches": reduced,
+            "reduced_hits": reduced_hits,
+            "serve_reduced": self.serve_reduced,
             "arena": self._arena.stats(),
             "executors": sum(p.executors_created for p in plans.values()),
             "arena_bytes": {k[0]: p.plan.arena_bytes()
@@ -477,35 +513,51 @@ class ForecastEngine:
         return x3d, x2d, (H, W)
 
     def _lookup_plan(self, shape: Tuple[int, ...]
-                     ) -> Tuple[Optional[CompiledForward], Optional[int]]:
+                     ) -> Tuple[Optional[CompiledForward], Optional[int],
+                                bool]:
         """One-critical-section plan lookup **and** outcome recording.
 
         Exact-shape plans win; otherwise, with ``bucket_partial`` on,
         the smallest compiled plan whose batch exceeds the request's
         serves as its bucket (the batch pads up, outputs slice back).
-        The hit/miss, per-bucket and padding counters are all updated
+        With ``serve_reduced`` on, installed reduced-precision variants
+        (every one passed its :meth:`compile_reduced` accuracy gate)
+        take priority over the exact plans, same exact-then-bucket
+        order; the third returned element flags that choice.  The
+        hit/miss, per-bucket and padding counters are all updated
         here, inside the same ``_plan_lock`` section as the lookup —
         the counters describe the decision actually taken even if a
         concurrent :meth:`clear_plans`/:meth:`compile` lands while the
         forward itself runs outside the lock.
         """
         n = shape[0]
-        with self._plan_lock:
-            compiled_fwd = self._plans.get(shape)
-            plan_batch: Optional[int] = n if compiled_fwd is not None \
-                else None
-            if compiled_fwd is None and self.bucket_partial:
+
+        def find(table):
+            fwd = table.get(shape)
+            pb: Optional[int] = n if fwd is not None else None
+            if fwd is None and self.bucket_partial:
                 tail = shape[1:]
                 best = None
-                for key in self._plans:
+                for key in table:
                     if key[1:] == tail and key[0] > n and \
                             (best is None or key[0] < best):
                         best = key[0]
                 if best is not None:
-                    compiled_fwd = self._plans[(best,) + tail]
-                    plan_batch = best
+                    fwd = table[(best,) + tail]
+                    pb = best
+            return fwd, pb
+
+        with self._plan_lock:
+            compiled_fwd, plan_batch, reduced = None, None, False
+            if self.serve_reduced:
+                compiled_fwd, plan_batch = find(self._reduced)
+                reduced = compiled_fwd is not None
+            if compiled_fwd is None:
+                compiled_fwd, plan_batch = find(self._plans)
             if compiled_fwd is not None:
                 self.plan_hits += 1
+                if reduced:
+                    self.reduced_hits += 1
                 self.bucket_hits[plan_batch] = \
                     self.bucket_hits.get(plan_batch, 0) + 1
                 self.padded_rows += plan_batch - n
@@ -513,11 +565,12 @@ class ForecastEngine:
             else:
                 self.plan_misses += 1
                 self.total_rows += n
-        return compiled_fwd, plan_batch
+        return compiled_fwd, plan_batch, reduced
 
     def _finalize(self, references: Sequence[FieldWindow],
                   vol: np.ndarray, zet: np.ndarray, seconds: float, *,
-                  compiled: bool, plan_batch: Optional[int]
+                  compiled: bool, plan_batch: Optional[int],
+                  reduced: bool = False
                   ) -> List[ForecastResult]:
         """Denormalise, crop to the request mesh, restore the exact
         initial condition and wrap per-episode results."""
@@ -539,7 +592,8 @@ class ForecastEngine:
             fields.zeta[0] = r.zeta[0]
             results.append(ForecastResult(fields, per_episode,
                                           compiled=compiled,
-                                          plan_batch=plan_batch))
+                                          plan_batch=plan_batch,
+                                          reduced=reduced))
         return results
 
     def forecast_batch(self, references: Sequence[FieldWindow]
@@ -583,7 +637,7 @@ class ForecastEngine:
             return []
         n = len(references)
         x3d, x2d, _ = self._prepare_inputs(references)
-        compiled_fwd, plan_batch = self._lookup_plan(x3d.shape)
+        compiled_fwd, plan_batch, reduced = self._lookup_plan(x3d.shape)
 
         self.model.eval()
         # (N, 3, H', W', D, T) → (N, 3, T, H', W', D); ζ → (N, T, H', W')
@@ -596,6 +650,12 @@ class ForecastEngine:
                     [x3d, np.zeros((pad,) + x3d.shape[1:], x3d.dtype)])
                 x2d = np.concatenate(
                     [x2d, np.zeros((pad,) + x2d.shape[1:], x2d.dtype)])
+            if reduced:
+                # cast_plan narrowed the input slots with the storage
+                plan = compiled_fwd.plan
+                in3, in2 = plan.inputs[0], plan.inputs[1]
+                x3d = x3d.astype(plan.slots[in3].dtype, copy=False)
+                x2d = x2d.astype(plan.slots[in2].dtype, copy=False)
             executor = compiled_fwd.acquire()
             try:
                 t0 = time.perf_counter()
@@ -618,4 +678,4 @@ class ForecastEngine:
 
         return self._finalize(references, vol, zet, seconds,
                               compiled=compiled_fwd is not None,
-                              plan_batch=plan_batch)
+                              plan_batch=plan_batch, reduced=reduced)
