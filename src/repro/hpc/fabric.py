@@ -40,12 +40,20 @@ Failure taxonomy (callers branch on these):
 * :class:`FabricTimeout` — no complete frame arrived inside the
   caller's deadline; partial bytes stay buffered and the next call
   resumes where this one stopped (the stream stays framed).
+
+Trust boundary: frame headers are pickled, so unpacking a frame
+executes the sender's choice of constructors — the fabric is only
+safe between mutually trusting endpoints (here: a parent and the
+child it spawned, gated by the loopback token handshake).  Do not
+point it at an untrusted peer.
 """
 
 from __future__ import annotations
 
+import hmac
 import pickle
 import secrets
+import select
 import socket
 import struct
 import threading
@@ -174,25 +182,42 @@ def unpack_frame(data: bytes) -> Frame:
     except Exception as exc:  # noqa: BLE001 — any unpickle failure
         raise FrameError(f"undecodable frame header: {exc}") from exc
     body = memoryview(data)[_PREAMBLE.size + header_len:total]
-    arrays = []
-    for shape, dtype_str, off in descs:
-        try:
-            dt = np.dtype(dtype_str)
-        except TypeError as exc:
-            raise FrameError(
-                f"descriptor carries unknown dtype {dtype_str!r}") from exc
-        count = 1
-        for s in shape:
-            count *= int(s)
-        nbytes = count * dt.itemsize
-        if off < 0 or off + nbytes > len(body):
-            raise FrameError(
-                f"descriptor {shape}/{dtype_str}@{off} overruns "
-                f"{len(body)}-byte body")
-        arrays.append(np.frombuffer(body, dtype=dt, count=count,
-                                    offset=off).reshape(shape))
-    return Frame(op=str(op), seq=int(seq), meta=dict(meta),
-                 arrays=arrays, nbytes=len(data))
+    try:
+        arrays = []
+        for shape, dtype_str, off in descs:
+            try:
+                dt = np.dtype(dtype_str)
+            except (TypeError, ValueError) as exc:
+                raise FrameError(
+                    f"descriptor carries unknown dtype "
+                    f"{dtype_str!r}") from exc
+            if dt.hasobject or dt.itemsize == 0:
+                raise FrameError(
+                    f"descriptor carries non-wire dtype {dtype_str!r} "
+                    "(object or zero-itemsize)")
+            count = 1
+            for s in shape:
+                s = int(s)
+                if s < 0:
+                    raise FrameError(
+                        f"descriptor shape {shape} has a negative extent")
+                count *= s
+            nbytes = count * dt.itemsize
+            if off < 0 or off + nbytes > len(body):
+                raise FrameError(
+                    f"descriptor {shape}/{dtype_str}@{off} overruns "
+                    f"{len(body)}-byte body")
+            arrays.append(np.frombuffer(body, dtype=dt, count=count,
+                                        offset=off).reshape(shape))
+        return Frame(op=str(op), seq=int(seq), meta=dict(meta),
+                     arrays=arrays, nbytes=len(data))
+    except FrameError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — the header pickles fine
+        # but its contents are garbage (non-triple descriptors,
+        # non-integral shapes, non-dict meta, ...): still a frame
+        # problem, never an uncaught error in the caller's reaper loop
+        raise FrameError(f"malformed frame header contents: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -291,10 +316,18 @@ class SocketEndpoint:
     reaper loop's heartbeat check) never loses framing.  EOF at a
     frame boundary is :class:`FabricClosed`; EOF with buffered partial
     bytes is a :class:`FrameError` (the peer died mid-send).
+
+    Receive deadlines are implemented with :func:`select.select`, not
+    ``settimeout`` — the socket itself stays fully blocking, so a
+    concurrent ``send_frame`` from another thread (pipelined multi-MB
+    batches while the peer is mid-compute and not draining) blocks
+    until the kernel buffer frees instead of inheriting a ~0.02–0.2 s
+    polling timeout and spuriously declaring the peer dead.
     """
 
     def __init__(self, sock: socket.socket):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)      # sends must block, never poll-timeout
         self._sock = sock
         self._send_lock = threading.Lock()
         self._buf = bytearray()
@@ -334,8 +367,17 @@ class SocketEndpoint:
             if remaining is not None and remaining <= 0:
                 raise FabricTimeout(
                     f"no complete frame within {timeout}s")
+            if remaining is not None:
+                try:
+                    ready, _, _ = select.select(
+                        [self._sock], [], [], remaining)
+                except (OSError, ValueError) as exc:
+                    # fd torn down under us by a concurrent close()
+                    raise FabricClosed(f"recv failed: {exc}") from exc
+                if not ready:
+                    raise FabricTimeout(
+                        f"no complete frame within {timeout}s")
             try:
-                self._sock.settimeout(remaining)
                 chunk = self._sock.recv(1 << 18)
             except socket.timeout as exc:
                 raise FabricTimeout(
@@ -426,7 +468,7 @@ def accept_loopback(listener: socket.socket, token: str,
             got += chunk
     except OSError:
         pass
-    if bytes(got) != want:
+    if not hmac.compare_digest(bytes(got), want):
         sock.close()
         raise FabricError("peer failed the token handshake")
     sock.settimeout(None)

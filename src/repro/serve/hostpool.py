@@ -188,7 +188,9 @@ def _serve_endpoint(ep, engine, heartbeat_s: float) -> None:
                         {"trace": f"unknown op {frame.op!r}"}))
             except FabricError:
                 break
-            except BaseException:  # noqa: BLE001 — report, keep serving
+            except Exception:  # noqa: BLE001 — report, keep serving
+                # Exception only: KeyboardInterrupt/SystemExit must
+                # propagate so the child can actually be stopped
                 import traceback
                 try:
                     ep.send_frame(pack_frame(
@@ -733,7 +735,11 @@ class HostWorker:
             for handle in pending:
                 handle._fail(exc)
         if self._proc is not None:
-            self._proc.close()
+            try:
+                self._proc.close()
+            except ValueError:
+                pass    # child stuck past every kill deadline: leak the
+                        # handle rather than raise out of close()
 
     def __enter__(self) -> "HostWorker":
         return self

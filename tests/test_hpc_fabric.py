@@ -108,6 +108,33 @@ class TestFrameCodec:
         with pytest.raises(FrameError, match="undecodable"):
             unpack_frame(data)
 
+    @pytest.mark.parametrize("dtype_str", ["|O", "V0"])
+    def test_non_wire_dtype_rejected(self, dtype_str):
+        # parses as a dtype but cannot view a byte buffer (object
+        # arrays would unpickle attacker bytes; zero-itemsize voids
+        # make frombuffer blow up) — must be FrameError, not a
+        # ValueError that kills the caller's reaper thread
+        header = pickle.dumps(
+            ("batch", 0, {}, [((4,), dtype_str, 0)]))
+        data = struct.pack("<4sIQ", MAGIC, len(header), 64) \
+            + header + b"\0" * 64
+        with pytest.raises(FrameError):
+            unpack_frame(data)
+
+    @pytest.mark.parametrize("header_obj", [
+        ("batch", 0, {}, [(("x",), "<f8", 0)]),    # non-integral shape
+        ("batch", 0, {}, [((-4,), "<f8", 0)]),     # negative extent
+        ("batch", 0, {}, [(4, "<f8")]),            # not a triple
+        ("batch", 0, {}, 7),                       # descs not a list
+        ("batch", 0, None, []),                    # meta not a mapping
+    ])
+    def test_malformed_header_contents_rejected(self, header_obj):
+        header = pickle.dumps(header_obj)
+        data = struct.pack("<4sIQ", MAGIC, len(header), 64) \
+            + header + b"\0" * 64
+        with pytest.raises(FrameError):
+            unpack_frame(data)
+
 
 # ----------------------------------------------------------------------
 # sim fabric
@@ -213,6 +240,59 @@ class TestSocketFabric:
         finally:
             client.close()
             server.close()
+
+    def test_recv_polling_never_clips_blocking_send(self):
+        """A reaper-style thread polling ``recv_frame`` with a short
+        timeout must not impose that timeout on a concurrent
+        ``send_frame``: a multi-MB frame that overfills the kernel
+        buffers (peer busy, not draining) has to block until the peer
+        drains, not spuriously raise and mark the worker dead."""
+        client, server = socket_pair()
+        stop = threading.Event()
+        poll_errors = []
+
+        def poll():
+            while not stop.is_set():
+                try:
+                    client.recv_frame(timeout=0.02)
+                except FabricTimeout:
+                    continue
+                except FabricError as exc:
+                    poll_errors.append(exc)
+                    return
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        try:
+            # well past loopback socket buffering, so sendall must
+            # block mid-frame while the "remote" is busy computing
+            data = pack_frame("batch", 0, {},
+                              [np.zeros(1 << 21, np.float64)])
+            sent = threading.Event()
+            send_errors = []
+
+            def send():
+                try:
+                    client.send_frame(data)
+                except FabricError as exc:
+                    send_errors.append(exc)
+                sent.set()
+
+            sender = threading.Thread(target=send)
+            sender.start()
+            time.sleep(0.5)          # several poll timeouts elapse
+            got = server.recv_frame(timeout=30.0)   # now drain
+            assert sent.wait(30.0)
+            sender.join()
+            assert not send_errors, \
+                f"send clipped by recv polling: {send_errors[0]}"
+            assert got == data
+        finally:
+            stop.set()
+            poller.join(5.0)
+            client.close()
+            server.close()
+        assert not poll_errors
 
     def test_peer_close_at_boundary_is_clean(self):
         client, server = socket_pair()
