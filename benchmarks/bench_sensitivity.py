@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Sensitivity benchmark: adjoint cost and served-gradient throughput.
+
+Two phases against the differentiable serving tier
+(``docs/differentiation.md``):
+
+1. **Adjoint cost** — direct ``ForecastEngine.sensitivity_batch`` over
+   a batch of episodes with ``wrt=("fields", "storm")``, against the
+   matching forward-only ``forecast_batch``.  Measures gradient
+   episodes/second and the backward/forward cost ratio (reverse mode
+   should stay within a small constant factor of the forward; a blowup
+   means the tape is recomputing, not replaying).
+
+2. **Served gradients** — a thread-backend :class:`ForecastServer`
+   takes a mixed stream of gradient requests with repeats, so the
+   gradient cache and in-flight dedup carry part of the load.  Measures
+   sustained gradient requests/second and — in ``--quick`` mode —
+   asserts every served response is bitwise-identical to the direct
+   backward and that one directional finite difference agrees with the
+   served field adjoint (the full FD sweep lives in
+   ``tests/test_sensitivity.py``).
+
+Self-contained (untrained tiny surrogate: adjoint cost does not depend
+on forecast skill), so CI can smoke it on every push::
+
+    python benchmarks/bench_sensitivity.py --quick
+
+Writes ``BENCH_sensitivity.json`` — ``grad_throughput_eps`` and
+``served_grad_qps`` are the gated trajectory metrics
+(``tools/bench_gate.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data import Normalizer
+from repro.serve import ForecastServer
+from repro.swin import CoastalSurrogate, SurrogateConfig
+from repro.workflow import ForecastEngine, GradientRequest, StormOverlay
+from repro.workflow.engine import FieldWindow
+
+T = 4
+H, W, D = 15, 14, 6
+VARS = ("u3", "v3", "w3", "zeta")
+
+#: same conditioning as tests/test_sensitivity.py: strong enough that
+#: the storm visibly moves the diagnostic through the float32 forward
+STORM = StormOverlay(x0=6000.0, y0=7000.0, vx=500.0, vy=300.0,
+                     max_wind=60.0, radius_max_wind=8000.0,
+                     central_pressure_drop=20000.0, dt=3.0)
+
+
+def build_engine(seed: int = 1) -> ForecastEngine:
+    cfg = SurrogateConfig(
+        mesh=(16, 16, D), time_steps=T,
+        patch3d=(4, 4, 2), patch2d=(4, 4),
+        embed_dim=8, num_heads=(2, 4, 8), depths=(2, 2, 2),
+        window_first=(2, 2, 2, 2), window_rest=(2, 2, 2, 2),
+    )
+    model = CoastalSurrogate(cfg)
+    rng = np.random.default_rng(seed)
+    state = {k: (v + rng.normal(scale=0.02, size=v.shape)).astype(v.dtype)
+             for k, v in model.state_dict().items()}
+    model.load_state_dict(state)
+    norm = Normalizer({v: 0.1 for v in VARS}, {v: 1.5 for v in VARS})
+    return ForecastEngine(model, norm)
+
+
+def make_windows(n: int, seed: int = 7) -> list:
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        out.append(FieldWindow(
+            rng.normal(size=(T, H, W, D)), rng.normal(size=(T, H, W, D)),
+            rng.normal(size=(T, H, W, D)), rng.normal(size=(T, H, W))))
+    return out
+
+
+def phase_adjoint_cost(engine, episodes: int, repeats: int) -> dict:
+    windows = make_windows(episodes)
+    storms = [STORM] * episodes
+    # warm both paths (plan compilation, allocator steady state)
+    engine.forecast_batch(windows[:2])
+    engine.sensitivity_batch(windows[:2], wrt=("fields", "storm"),
+                             storms=storms[:2])
+
+    fwd = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        engine.forecast_batch(windows)
+        fwd.append(time.perf_counter() - t0)
+    bwd = []
+    backward_seconds = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        results = engine.sensitivity_batch(
+            windows, wrt=("fields", "storm"), storms=storms)
+        bwd.append(time.perf_counter() - t0)
+        backward_seconds = sum(r.backward_seconds for r in results)
+    forward_s, grad_s = min(fwd), min(bwd)
+    return {
+        "episodes": episodes,
+        "forward_seconds": forward_s,
+        "grad_seconds": grad_s,
+        "grad_throughput_eps": episodes / grad_s,
+        "grad_over_forward": grad_s / forward_s,
+        "backward_fraction": backward_seconds / grad_s,
+    }
+
+
+def phase_served(engine, n_requests: int, check_bitwise: bool) -> dict:
+    windows = make_windows(8, seed=11)
+    # repeats at ratio 3:1 so cache + dedup carry part of the stream
+    requests = [GradientRequest(windows[k % len(windows)],
+                                diagnostic="mean_surge",
+                                wrt=("fields", "storm"), storm=STORM)
+                for k in range(n_requests)]
+    server = ForecastServer(engine, workers=2, max_batch=4,
+                            max_wait=0.002, cache_bytes=64 << 20)
+    t0 = time.perf_counter()
+    futures = [server.submit_sensitivity(r) for r in requests]
+    served = [f.result(timeout=300) for f in futures]
+    elapsed = time.perf_counter() - t0
+    m = server.metrics()
+    out = {
+        "requests": n_requests,
+        "served_grad_qps": n_requests / elapsed,
+        "grad_batches": m["grad_batches"],
+        "backward_seconds": m["backward_seconds"],
+        "cache_hits": server.cache.stats.hits if server.cache else 0,
+        "deduped": server.deduped_requests,
+    }
+    if check_bitwise:
+        # replay each actual gradient micro-batch (same composition:
+        # batch shape changes BLAS paths, so only a like-for-like
+        # direct call can be bitwise-compared)
+        by_request = {(f.worker_id, f.request_id): (req, f)
+                      for req, f in zip(requests, futures)
+                      if f.worker_id is not None}
+        checked = 0
+        for worker in server.pool._all_workers():
+            for batch in worker.scheduler.metrics.batches:
+                keys = [(worker.worker_id, rid)
+                        for rid in batch.request_ids]
+                if batch.kind != "gradient" or \
+                        not all(k in by_request for k in keys):
+                    continue
+                batch_reqs = [by_request[k][0] for k in keys]
+                direct = engine.sensitivity_batch(
+                    [r.window for r in batch_reqs],
+                    diagnostic=batch_reqs[0].diagnostic,
+                    wrt=("fields", "storm"),
+                    storms=[r.storm for r in batch_reqs])
+                for k, d in zip(keys, direct):
+                    res = by_request[k][1].result(timeout=5)
+                    assert res.value == d.value \
+                        and res.d_storm == d.d_storm
+                    for var in VARS:
+                        np.testing.assert_array_equal(
+                            getattr(res.d_fields, var),
+                            getattr(d.d_fields, var))
+                    checked += 1
+        out["bitwise_checked"] = checked
+        # one directional FD spot-check of the served field adjoint
+        rng = np.random.default_rng(3)
+        w0, res0 = windows[0], served[0]
+        direction = rng.normal(size=(T, H, W))
+        eps = 2e-3
+
+        def value(shift):
+            w2 = w0.copy()
+            w2.zeta[...] += shift * direction
+            out_w = engine.forecast_batch([STORM.apply(w2)])[0]
+            return float(out_w.fields.zeta[1:].mean())
+
+        fd = (value(eps) - value(-eps)) / (2 * eps)
+        ana = float((res0.d_fields.zeta * direction).sum())
+        rel = abs(fd - ana) / max(abs(fd), abs(ana))
+        assert rel < 5e-3, f"served adjoint vs FD: rel={rel:.3e}"
+        out["fd_rel_err"] = rel
+    server.close()
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI smoke run with correctness asserts")
+    ap.add_argument("--episodes", type=int, default=16,
+                    help="episodes per adjoint batch")
+    ap.add_argument("--requests", type=int, default=96,
+                    help="requests in the served phase")
+    ap.add_argument("--out", default=None,
+                    help="JSON output path (default: BENCH_sensitivity.json "
+                         "in the repo root)")
+    args = ap.parse_args(argv)
+    episodes = 6 if args.quick else args.episodes
+    repeats = 2 if args.quick else 5
+    n_requests = 24 if args.quick else args.requests
+
+    print(f"sensitivity benchmark: adjoint over {episodes}-episode "
+          f"batches, {n_requests} served gradient requests "
+          f"({os.cpu_count() or 1} cores)")
+
+    engine = build_engine()
+    cost = phase_adjoint_cost(engine, episodes, repeats)
+    print("\n--- adjoint cost (fields + 6 storm parameters) ---")
+    print(f"  forward              : {1e3 * cost['forward_seconds']:.0f}ms "
+          f"/ batch of {episodes}")
+    print(f"  forward+backward     : {1e3 * cost['grad_seconds']:.0f}ms "
+          f"({cost['grad_over_forward']:.1f}x the forward, "
+          f"{100 * cost['backward_fraction']:.0f}% in backward)")
+    print(f"  gradient throughput  : {cost['grad_throughput_eps']:.1f} "
+          f"episodes/s")
+
+    served = phase_served(engine, n_requests, check_bitwise=args.quick)
+    print("\n--- served gradients (thread backend, cache + dedup) ---")
+    print(f"  sustained            : {served['served_grad_qps']:.0f} req/s "
+          f"({served['requests']} requests)")
+    print(f"  gradient batches     : {served['grad_batches']} "
+          f"({served['backward_seconds']:.3f}s in backward)")
+    print(f"  cache hits / deduped : {served['cache_hits']} / "
+          f"{served['deduped']}")
+    if "bitwise_checked" in served:
+        print(f"  bitwise vs direct    : {served['bitwise_checked']} "
+              f"responses; FD spot-check rel err "
+              f"{served['fd_rel_err']:.1e}")
+
+    record = {
+        "benchmark": "sensitivity",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": bool(args.quick),
+        "cores": os.cpu_count() or 1,
+        "config": {"episodes": episodes, "repeats": repeats,
+                   "requests": n_requests},
+        "metrics": {
+            "grad_throughput_eps": cost["grad_throughput_eps"],
+            "grad_over_forward": cost["grad_over_forward"],
+            "backward_fraction": cost["backward_fraction"],
+            "served_grad_qps": served["served_grad_qps"],
+            "grad_batches": served["grad_batches"],
+            "cache_hits": served["cache_hits"],
+            "deduped": served["deduped"],
+        },
+        # tools/bench_gate.py regresses these (higher = better)
+        "gate": {"higher_better": ["grad_throughput_eps",
+                                   "served_grad_qps"]},
+    }
+    out_path = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / "BENCH_sensitivity.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+    ok = True
+    if args.quick:
+        # every request is either a bitwise-verified leader, a cache
+        # hit, or a dedup follower (both of which copy a leader result)
+        engine_runs = n_requests - served["cache_hits"] - served["deduped"]
+        if served.get("bitwise_checked", 0) != engine_runs:
+            print(f"FAIL: only {served.get('bitwise_checked', 0)} of "
+                  f"{engine_runs} engine-served responses verified "
+                  "bitwise")
+            ok = False
+    if served["cache_hits"] + served["deduped"] == 0:
+        print("FAIL: repeated requests produced no cache hits and no "
+              "dedup — the gradient key is not coalescing")
+        ok = False
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

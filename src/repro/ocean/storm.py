@@ -59,14 +59,42 @@ class SteadyWind:
 class ParametricCyclone:
     """Holland-profile cyclone translating across the domain.
 
+    The wind field is the Holland (1980) gradient-wind profile with
+    shape parameter B = 1.4: azimuthal speed
+    ``max_wind · sqrt((r_mw/r)^B · exp(1 − (r_mw/r)^B))``, which peaks
+    at exactly ``max_wind`` on the ``r = radius_max_wind`` ring and
+    decays both inward (calm eye) and outward.  Rotation is cyclonic
+    for the northern hemisphere (counter-clockwise when the x axis
+    points east and the y axis north), with the surface wind rotated
+    a further ``inflow_angle_rad`` toward the centre.  The pressure
+    field is the matching Holland profile
+    ``p(r) = p_c + Δp·exp(−(r_mw/r)^B)``, i.e. the full
+    ``central_pressure_drop`` below ambient at the centre, relaxing to
+    ``P_AMBIENT`` far away.
+
+    The differentiable serving-side mirror of this profile is
+    :class:`repro.workflow.sensitivity.StormOverlay` (same
+    parameterisation and sign conventions, arranged for smooth
+    gradients); keep the two in sync.
+
     Parameters
     ----------
-    x0, y0: storm-centre position at t = 0 [m, grid coordinates].
-    vx, vy: translation speed [m/s].
-    max_wind: peak gradient wind [m/s].
-    radius_max_wind: radius of maximum winds [m].
-    central_pressure_drop: ambient − central pressure [Pa].
-    inflow_angle_rad: cross-isobar inflow rotation.
+    x0, y0: storm-centre position at t = 0 [m, in the grid's
+        projected coordinates — the same axes as
+        ``CurvilinearGrid.x_axis``/``y_axis`` centres].
+    vx, vy: translation velocity of the centre [m/s]; positive vx
+        moves the storm toward +x (east), positive vy toward +y
+        (north).  The centre at time t is ``(x0 + vx·t, y0 + vy·t)``.
+    max_wind: peak gradient-wind speed [m/s], attained at
+        ``radius_max_wind``; must be positive.
+    radius_max_wind: radius of maximum winds [m] — larger values make
+        a broader, flatter storm.
+    central_pressure_drop: ambient minus central sea-level pressure
+        [Pa]; positive numbers mean a *low* at the centre (4 000 Pa
+        = 40 hPa, a strong hurricane).
+    inflow_angle_rad: cross-isobar inflow rotation [rad], positive
+        turning the surface wind from pure azimuthal flow inward
+        toward the centre (typical observed values ≈ 0.2–0.4).
     """
 
     x0: float

@@ -25,10 +25,14 @@ that converts per-call speed into system throughput:
   and heartbeat-based death detection;
 - :mod:`repro.serve.autoscale` — load-adaptive ``AutoScaler`` growing
   and shrinking the live worker count between bounds;
-- :mod:`repro.serve.server` — routes plain, ensemble, and hybrid
-  requests through the replica pool (a single-engine deployment is the
-  pool of 1) and fronts the operations API (``deploy``,
+- :mod:`repro.serve.server` — routes plain, gradient, ensemble, and
+  hybrid requests through the replica pool (a single-engine deployment
+  is the pool of 1) and fronts the operations API (``deploy``,
   ``enable_autoscaling``).
+
+Gradient requests (``ForecastServer.submit_sensitivity``) ride the
+same scheduler/pool/cache machinery as forecasts on the thread
+backend; see ``docs/differentiation.md``.
 
 See ``docs/architecture.md`` for how the pieces compose and
 ``docs/serving.md`` for the tuning guide (including the Operations
@@ -36,7 +40,7 @@ section).
 """
 
 from .autoscale import AutoScaler, LoadSample, ScaleEvent
-from .cache import ForecastCache, ForecastCacheStats, window_key
+from .cache import ForecastCache, ForecastCacheStats, gradient_key, window_key
 from .pool import (
     DeploymentError,
     EngineVersion,
@@ -78,6 +82,7 @@ __all__ = [
     "ForecastCache",
     "ForecastCacheStats",
     "window_key",
+    "gradient_key",
     "EngineWorkerPool",
     "Router",
     "RoundRobinRouter",

@@ -17,6 +17,7 @@ requests.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 from dataclasses import dataclass
@@ -26,8 +27,10 @@ import numpy as np
 
 from ..data.cache import LruBytes
 from ..workflow.engine import FieldWindow, ForecastResult
+from ..workflow.sensitivity import GradientRequest
 
-__all__ = ["window_key", "ForecastCacheStats", "ForecastCache"]
+__all__ = ["window_key", "gradient_key", "ForecastCacheStats",
+           "ForecastCache"]
 
 
 def window_key(window: FieldWindow, extra: Tuple = ()) -> str:
@@ -51,6 +54,28 @@ def window_key(window: FieldWindow, extra: Tuple = ()) -> str:
     return h.hexdigest()
 
 
+def gradient_key(request: GradientRequest) -> str:
+    """Content digest of a sensitivity request.
+
+    Extends :func:`window_key` with everything that changes the
+    gradient for byte-identical windows: the diagnostic, the ``wrt``
+    targets, the observation window's digest (``surge_mse``) and the
+    full storm-overlay parameter set — so a forecast and a gradient of
+    the same window can never collide, and neither can two gradients
+    under different diagnostics or storm hypotheses.
+    """
+    extra: list = ["grad", request.diagnostic, tuple(request.wrt)]
+    if request.observation is not None:
+        obs = np.ascontiguousarray(np.asarray(request.observation))
+        extra.append(("obs", obs.shape, str(obs.dtype),
+                      hashlib.sha256(obs.tobytes()).hexdigest()))
+    if request.storm is not None:
+        extra.append(
+            ("storm",) + tuple(sorted(
+                dataclasses.asdict(request.storm).items())))
+    return window_key(request.window, extra=tuple(extra))
+
+
 @dataclass
 class ForecastCacheStats:
     """Hit/miss accounting of the result cache."""
@@ -65,9 +90,12 @@ class ForecastCacheStats:
         return self.hits / total if total else 0.0
 
 
-def _result_nbytes(result: ForecastResult) -> int:
-    f = result.fields
-    return f.u3.nbytes + f.v3.nbytes + f.w3.nbytes + f.zeta.nbytes
+def _result_nbytes(result) -> int:
+    if isinstance(result, ForecastResult):
+        f = result.fields
+        return f.u3.nbytes + f.v3.nbytes + f.w3.nbytes + f.zeta.nbytes
+    # sensitivity results account for themselves
+    return int(result.nbytes())
 
 
 class ForecastCache:
@@ -90,28 +118,40 @@ class ForecastCache:
     def resident_bytes(self) -> int:
         return self._lru.used_bytes
 
-    def get(self, key: str) -> Optional[ForecastResult]:
-        """Cached result for ``key`` (a private copy), or ``None``."""
+    def get(self, key: str):
+        """Cached result for ``key`` (a private copy), or ``None``.
+
+        Holds :class:`ForecastResult` and
+        :class:`~repro.workflow.sensitivity.SensitivityResult` payloads
+        alike (keyed by :func:`window_key` / :func:`gradient_key`, so
+        the two namespaces never collide).
+        """
         with self._lock:
             cached = self._lru.get(key)
             if cached is None:
                 self.stats.misses += 1
                 return None
             self.stats.hits += 1
-            return ForecastResult(cached.fields.copy(), 0.0,
-                                  cached.episodes,
-                                  engine_version=cached.engine_version)
+            if isinstance(cached, ForecastResult):
+                return ForecastResult(cached.fields.copy(), 0.0,
+                                      cached.episodes,
+                                      engine_version=cached.engine_version)
+            return cached.copy()
 
-    def put(self, key: str, result: ForecastResult) -> None:
-        """Store a completed forecast (a private copy of its fields).
+    def put(self, key: str, result) -> None:
+        """Store a completed result (a private copy of its arrays).
 
         ``engine_version`` rides along so a hit stays attributable to
         the weights that computed it (the server clears the cache on
         deploy, but entries read out mid-roll keep an honest label).
         """
-        stored = ForecastResult(result.fields.copy(),
-                                result.inference_seconds, result.episodes,
-                                engine_version=result.engine_version)
+        if isinstance(result, ForecastResult):
+            stored = ForecastResult(result.fields.copy(),
+                                    result.inference_seconds,
+                                    result.episodes,
+                                    engine_version=result.engine_version)
+        else:
+            stored = result.copy()
         with self._lock:
             self.stats.evictions += self._lru.put(key, stored)
 

@@ -454,6 +454,18 @@ class PoolMetrics:
         plan variant (``serve_reduced=True`` routing)."""
         return sum(m.reduced_batches for m in self.per_worker)
 
+    @property
+    def grad_batches(self) -> int:
+        """Micro-batches that ran the adjoint path across all replicas
+        (thread backend only — other backends reject gradients)."""
+        return sum(m.grad_batches for m in self.per_worker)
+
+    @property
+    def backward_seconds(self) -> float:
+        """Cumulative wall-clock spent in gradient micro-batches across
+        all replicas (forward + backward)."""
+        return sum(m.backward_seconds for m in self.per_worker)
+
     def _pooled_latencies(self) -> List[float]:
         return [r.latency_seconds for m in self.per_worker
                 for r in m.requests]
@@ -516,6 +528,8 @@ class PoolMetrics:
             "frame_bytes": self.frame_bytes,
             "inflight_depth": self.inflight_depth,
             "reduced_batches": self.reduced_batches,
+            "grad_batches": self.grad_batches,
+            "backward_seconds": self.backward_seconds,
             "spawn_seconds_mean": self._pool.mean_spawn_seconds,
         }
 
@@ -762,6 +776,47 @@ class EngineWorkerPool:
         :class:`EngineVersion` — the version whose engine will (and,
         once done, did) produce the result.
         """
+        return self._route_submit(
+            lambda worker: worker.scheduler.submit(reference), key)
+
+    def submit_gradient(self, request, key=None) -> ServedFuture:
+        """Route one sensitivity request to a replica; returns immediately.
+
+        Same admission control, routing, and outstanding accounting as
+        :meth:`submit`; the future resolves to a
+        :class:`~repro.workflow.sensitivity.SensitivityResult`.  Only
+        the thread backend serves gradients: the backward pass replays
+        the autograd tape the forward built, and the process/host
+        transports marshal arrays, not tapes.
+
+        Raises
+        ------
+        NotImplementedError
+            on the process/host backends, with guidance (use a
+            thread-backend pool, or call
+            ``ForecastEngine.sensitivity_batch`` directly on the host
+            that owns the engine).
+        PoolSaturated
+            as for :meth:`submit`.
+        """
+        if self.backend != "thread":
+            raise NotImplementedError(
+                f"gradient requests are not served on the "
+                f"{self.backend!r} backend: the backward pass needs the "
+                "autograd graph in the serving process, and the "
+                f"{self.backend!r} transport marshals arrays, not "
+                "autograd tapes; use EngineWorkerPool(..., "
+                "backend='thread') or call "
+                "ForecastEngine.sensitivity_batch directly on the host "
+                "that owns the engine")
+        return self._route_submit(
+            lambda worker: worker.scheduler.submit_gradient(request), key)
+
+    def _route_submit(self, enqueue, key) -> ServedFuture:
+        """Shared admission + routing core of :meth:`submit` /
+        :meth:`submit_gradient`: choose a worker under the routing
+        lock, account it as outstanding, and enqueue via
+        ``enqueue(worker)``."""
         with self._route_lock:
             if self._closed:
                 raise RuntimeError("pool is closed")
@@ -800,7 +855,7 @@ class EngineWorkerPool:
             # between placement and enqueue and the request would be
             # lost with a RuntimeError instead of served or shed
             try:
-                future = worker.scheduler.submit(reference)
+                future = enqueue(worker)
             except BaseException:
                 worker.outstanding -= 1
                 worker.submitted -= 1

@@ -26,6 +26,12 @@ Two drive modes:
   no worker runs; the caller advances the queue with :meth:`step` /
   :meth:`flush`.
 
+Gradient requests (:meth:`MicroBatchScheduler.submit_gradient`) ride
+the same queue and flush policy: requests sharing a
+(diagnostic, ``wrt``) signature coalesce into one
+``engine.sensitivity_batch`` call, and never mix with forward
+micro-batches (see ``docs/differentiation.md``).
+
 The scheduler also *is* a batch executor (``forecast_batch`` /
 ``time_steps``), so :class:`~repro.workflow.ensemble.EnsembleForecaster`
 and :class:`~repro.workflow.hybrid.HybridWorkflow` accept it anywhere
@@ -44,6 +50,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..workflow.engine import FieldWindow, ForecastResult
+from ..workflow.sensitivity import GradientRequest
 
 __all__ = ["ServedFuture", "BatchRecord", "RequestRecord", "ServeMetrics",
            "MicroBatchScheduler"]
@@ -124,11 +131,27 @@ class ServedFuture:
 
 @dataclass
 class _Request:
-    """Queue entry: the window, its future, and its arrival time."""
+    """Queue entry: the window, its future, and its arrival time.
+
+    ``kind`` is "forecast" or "gradient"; gradient entries carry their
+    full :class:`~repro.workflow.sensitivity.GradientRequest` so the
+    flush can batch compatible requests into one backward pass.
+    """
 
     window: FieldWindow
     future: ServedFuture
     enqueued_at: float
+    kind: str = "forecast"
+    grad: Optional[GradientRequest] = None
+
+    @property
+    def signature(self) -> tuple:
+        """Batch-compatibility key: only requests sharing a signature
+        may share an engine call (one forward, or one backward with a
+        single diagnostic/wrt configuration)."""
+        if self.kind == "gradient":
+            return ("gradient", self.grad.diagnostic, self.grad.wrt)
+        return ("forecast",)
 
 
 @dataclass(frozen=True)
@@ -148,6 +171,10 @@ class BatchRecord:
     #: served by an accuracy-gated reduced-precision plan variant
     #: (only possible with ``serve_reduced`` routing on)
     reduced: bool = False
+    #: "forecast" (engine.forecast_batch) or "gradient"
+    #: (engine.sensitivity_batch) — gradient batches feed the
+    #: ``grad_batches`` / ``backward_seconds`` counters
+    kind: str = "forecast"
 
 
 @dataclass(frozen=True)
@@ -214,6 +241,19 @@ class ServeMetrics:
         plan variant (``serve_reduced`` routing); 0 when the knob is
         off — the default, bitwise-exact configuration."""
         return sum(b.reduced for b in self.batches)
+
+    @property
+    def grad_batches(self) -> int:
+        """Micro-batches that ran the adjoint path
+        (``engine.sensitivity_batch``) instead of a forward."""
+        return sum(1 for b in self.batches if b.kind == "gradient")
+
+    @property
+    def backward_seconds(self) -> float:
+        """Cumulative wall-clock spent in gradient micro-batches
+        (forward + backward; the adjoint analogue of
+        ``engine_seconds``)."""
+        return sum(b.seconds for b in self.batches if b.kind == "gradient")
 
     @property
     def padded_rows(self) -> int:
@@ -288,6 +328,8 @@ class ServeMetrics:
             "frame_bytes": self.frame_bytes,
             "inflight_depth": self.inflight_depth,
             "reduced_batches": self.reduced_batches,
+            "grad_batches": self.grad_batches,
+            "backward_seconds": self.backward_seconds,
         }
 
 
@@ -395,6 +437,35 @@ class MicroBatchScheduler:
         malformed request fails alone instead of poisoning the
         micro-batch it would have joined.
         """
+        return self._enqueue(reference, "forecast", None)
+
+    def submit_gradient(self, request: GradientRequest) -> ServedFuture:
+        """Enqueue one sensitivity request; returns immediately.
+
+        The future resolves to a
+        :class:`~repro.workflow.sensitivity.SensitivityResult`.
+        Gradient requests coalesce with each other exactly like
+        forecasts do, but only with requests sharing their
+        (diagnostic, wrt) signature — a micro-batch is always one
+        engine call — and never with forward requests.
+
+        Raises ``NotImplementedError`` when the executor behind the
+        scheduler has no ``sensitivity_batch`` — the backward pass
+        needs the autograd graph in-process, which the process/host
+        proxy executors do not transport.
+        """
+        if not hasattr(self.engine, "sensitivity_batch"):
+            raise NotImplementedError(
+                "gradient requests need an in-process autograd graph, "
+                f"but this scheduler's executor ({type(self.engine).__name__}) "
+                "does not expose sensitivity_batch(); serve gradients "
+                "from a thread-backend pool (EngineWorkerPool(..., "
+                "backend='thread')) or call "
+                "ForecastEngine.sensitivity_batch directly")
+        return self._enqueue(request.window, "gradient", request)
+
+    def _enqueue(self, reference: FieldWindow, kind: str,
+                 grad: Optional[GradientRequest]) -> ServedFuture:
         T = self.time_steps
         if reference.T != T:
             raise ValueError(
@@ -415,7 +486,8 @@ class MicroBatchScheduler:
             future = ServedFuture(self._next_id)
             self._next_id += 1
             self._queue.append(_Request(reference, future,
-                                        time.perf_counter()))
+                                        time.perf_counter(),
+                                        kind=kind, grad=grad))
             self._pending.notify_all()
         return future
 
@@ -481,8 +553,18 @@ class MicroBatchScheduler:
 
     # -- scheduling core ------------------------------------------------
     def _pop_batch_locked(self) -> List[_Request]:
-        n = min(self.max_batch, len(self._queue))
-        return [self._queue.popleft() for _ in range(n)]
+        """Pop the next micro-batch: up to ``max_batch`` requests from
+        the queue head that share the head's batch signature — FIFO
+        order is preserved, a signature change just ends the batch
+        early (the next :meth:`step` picks the rest up)."""
+        if not self._queue:
+            return []
+        sig = self._queue[0].signature
+        out: List[_Request] = []
+        while self._queue and len(out) < self.max_batch \
+                and self._queue[0].signature == sig:
+            out.append(self._queue.popleft())
+        return out
 
     def _serve_loop(self) -> None:
         while True:
@@ -508,11 +590,20 @@ class MicroBatchScheduler:
             self._run_batch(batch, trigger)
 
     def _run_batch(self, batch: List[_Request], trigger: str) -> None:
+        kind = batch[0].kind
         start = time.perf_counter()
         failure: Optional[BaseException] = None
         try:
-            results = self.engine.forecast_batch(
-                [r.window for r in batch])
+            if kind == "gradient":
+                grads = [r.grad for r in batch]
+                results = self.engine.sensitivity_batch(
+                    [g.window for g in grads],
+                    wrt=grads[0].wrt, diagnostic=grads[0].diagnostic,
+                    observations=[g.observation for g in grads],
+                    storms=[g.storm for g in grads])
+            else:
+                results = self.engine.forecast_batch(
+                    [r.window for r in batch])
         except BaseException as exc:     # noqa: BLE001 — worker must survive
             failure = exc
         seconds = time.perf_counter() - start
@@ -553,7 +644,7 @@ class MicroBatchScheduler:
                 request_ids=tuple(r.future.request_id for r in batch),
                 seconds=seconds, trigger=trigger,
                 failed=failure is not None, compiled=compiled,
-                plan_batch=plan_batch, reduced=reduced))
+                plan_batch=plan_batch, reduced=reduced, kind=kind))
             for req in batch:
                 self.metrics.requests.append(RequestRecord(
                     request_id=req.future.request_id, batch_index=index,

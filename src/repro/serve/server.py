@@ -1,10 +1,15 @@
-"""Serving front door: a replica pool behind three request kinds.
+"""Serving front door: a replica pool behind four request kinds.
 
 :class:`ForecastServer` routes
 
 * **plain forecasts** — deduplicated through the keyed result cache,
   then routed to an engine replica by the pool's policy and coalesced
   by that replica's micro-batching scheduler;
+* **gradient requests** — sensitivity queries
+  (:class:`~repro.workflow.sensitivity.GradientRequest`) served by the
+  engines' adjoint path with the same cache/dedup/routing machinery,
+  keyed by :func:`~repro.serve.cache.gradient_key` (thread backend
+  only; see ``docs/differentiation.md``);
 * **ensemble requests** — the N perturbed members are sharded across
   the pool's batch slots (they interleave with unrelated traffic
   instead of monopolising a forward);
@@ -47,8 +52,9 @@ from ..train.checkpoint import load_model_like
 from ..workflow.engine import FieldWindow, ForecastResult
 from ..workflow.ensemble import EnsembleForecast, EnsembleForecaster
 from ..workflow.hybrid import HybridWorkflow, WorkflowReport
+from ..workflow.sensitivity import GradientRequest, SensitivityResult
 from .autoscale import AutoScaler
-from .cache import ForecastCache, window_key
+from .cache import ForecastCache, gradient_key, window_key
 from .pool import EngineVersion, EngineWorkerPool, Router
 from .scheduler import MicroBatchScheduler, ServedFuture
 
@@ -223,9 +229,14 @@ class ForecastServer:
         # the follower is pinned to the leader's engine version (its
         # result IS the leader's result)
         follower.engine_version = leader.engine_version
-        follower._complete(ForecastResult(
-            result.fields.copy(), 0.0, result.episodes,
-            engine_version=leader.engine_version))
+        if isinstance(result, ForecastResult):
+            copy = ForecastResult(
+                result.fields.copy(), 0.0, result.episodes,
+                engine_version=leader.engine_version)
+        else:
+            copy = result.copy()
+            copy.engine_version = leader.engine_version
+        follower._complete(copy)
 
     def _settle(self, key: str, future: ServedFuture) -> None:
         try:
@@ -246,6 +257,68 @@ class ForecastServer:
     def forecast(self, reference: FieldWindow) -> ForecastResult:
         """Synchronous plain forecast."""
         future = self.submit(reference)
+        if self.pool._manual:
+            self.flush()
+        return future.result()
+
+    # -- gradient requests ----------------------------------------------
+    def submit_sensitivity(self, request: GradientRequest,
+                           route_key: Optional[str] = None) -> ServedFuture:
+        """Queue one sensitivity request; cache hits complete immediately.
+
+        The adjoint analogue of :meth:`submit`: the future resolves to
+        a :class:`~repro.workflow.sensitivity.SensitivityResult` whose
+        gradients are bitwise-identical to a direct
+        :meth:`~repro.workflow.engine.ForecastEngine.sensitivity_batch`
+        call on the micro-batch the request landed in.  Caching and
+        in-flight dedup key on :func:`~repro.serve.cache.gradient_key`
+        (window digest + diagnostic + ``wrt`` + observation digest +
+        storm parameters), a disjoint namespace from forecast keys.
+
+        Raises
+        ------
+        NotImplementedError
+            on process/host backends — the backward pass needs the
+            autograd graph in the serving process (the exception text
+            carries the supported alternatives).
+        PoolSaturated
+            when admission control sheds the request, as for
+            :meth:`submit`.
+        """
+        if self.cache is None:
+            key = route_key if route_key is not None else (
+                gradient_key(request) if self.pool.router.uses_keys
+                else None)
+            return self.pool.submit_gradient(request, key=key)
+        key = gradient_key(request)
+        cached = self.cache.get(key)
+        if cached is not None:
+            future = ServedFuture(request_id=-1)
+            future.cache_hit = True
+            future.batch_size = 0
+            future.queue_seconds = 0.0
+            future.latency_seconds = 0.0
+            future.engine_version = cached.engine_version
+            future._complete(cached)
+            return future
+        with self._inflight_lock:
+            leader = self._inflight.get(key)
+            if leader is not None:
+                self.deduped_requests += 1
+                follower = ServedFuture(request_id=-1)
+                follower.cache_hit = True
+                leader.add_done_callback(
+                    lambda fut: self._follow(follower, fut))
+                return follower
+            future = self.pool.submit_gradient(
+                request, key=route_key if route_key is not None else key)
+            self._inflight[key] = future
+        future.add_done_callback(lambda fut: self._settle(key, fut))
+        return future
+
+    def sensitivity(self, request: GradientRequest) -> SensitivityResult:
+        """Synchronous sensitivity query (see :meth:`submit_sensitivity`)."""
+        future = self.submit_sensitivity(request)
         if self.pool._manual:
             self.flush()
         return future.result()

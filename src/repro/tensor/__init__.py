@@ -5,8 +5,11 @@ Public surface:
 * :class:`Tensor` — array + gradient tape node.
 * :func:`concatenate`, :func:`stack`, :func:`where` — multi-input ops.
 * :func:`conv_nd`, :func:`conv_transpose_nd` — N-d convolution kernels.
-* :func:`no_grad` — inference-mode context manager.
-* :func:`gradcheck` — finite-difference verification.
+* :func:`no_grad` / :func:`enable_grad` — thread-local gradient switch
+  (inference mode, and its inverse for backward passes on serving
+  threads).
+* :func:`gradcheck` / :func:`numerical_grad` — finite-difference
+  verification (see ``docs/differentiation.md``).
 * :mod:`~repro.tensor.plan` — compiled inference plans: :func:`trace`
   captures a forward as an :class:`ExecutionPlan`; a
   :class:`PlanExecutor` replays it allocation-free on raw arrays.
@@ -34,6 +37,7 @@ from .tensor import (
     Tensor,
     astensor,
     concatenate,
+    enable_grad,
     is_grad_enabled,
     no_grad,
     set_grad_enabled,
@@ -56,6 +60,7 @@ __all__ = [
     "stack",
     "where",
     "no_grad",
+    "enable_grad",
     "is_grad_enabled",
     "set_grad_enabled",
     "unbroadcast",

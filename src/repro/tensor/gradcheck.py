@@ -2,7 +2,31 @@
 
 Every hand-written adjoint in :mod:`repro.tensor` is validated against a
 central finite difference.  The test suite uses :func:`gradcheck` both in
-targeted unit tests and in hypothesis property tests over random shapes.
+targeted unit tests and in hypothesis property tests over random shapes,
+and the serving tier's sensitivity endpoints
+(:meth:`~repro.workflow.engine.ForecastEngine.sensitivity_batch`) are
+gated on :func:`numerical_grad` agreement in ``tests/test_sensitivity.py``.
+
+Methodology (the ``compare_grad_with_fd`` pattern): the scalar under
+test is ``sum(fn(*inputs))``; each element of the chosen input is
+perturbed by ``±eps`` and the central quotient
+``(f(x+eps) - f(x-eps)) / (2 eps)`` is compared against the analytic
+gradient under an ``atol``/``rtol`` gate.  Two failure modes need eps
+tuned per call site:
+
+* *round-off*: ``f`` evaluated in float32 carries ~1e-7 relative noise,
+  so the quotient's noise floor is ~``noise(f) / (2 eps)`` — too small
+  an ``eps`` drowns the signal.  Functions routed through a float32
+  model forward (the engine sensitivity paths) therefore use
+  ``eps ~ 1e-3``–``1e-2`` with a correspondingly looser gate, while
+  pure-float64 tensor ops keep the tight default.
+* *truncation*: the central difference is exact only to ``O(eps²·f‴)``
+  — too large an ``eps`` biases the quotient on curvy functions, and
+  piecewise-linear reductions (``max``) mis-sample when the perturbation
+  flips the argmax.
+
+See ``docs/differentiation.md`` for how the serving gradcheck composes
+these rules with the full numpy serving path.
 """
 
 from __future__ import annotations
@@ -22,8 +46,24 @@ def numerical_grad(fn: Callable[..., Tensor], inputs: Sequence[np.ndarray],
 
     Parameters
     ----------
-    fn: function mapping Tensors to a Tensor.
-    inputs: plain arrays; input ``index`` is perturbed elementwise.
+    fn: function mapping Tensors to a Tensor.  Only the *values* of the
+        returned tensor are read, so ``fn`` may internally run any
+        non-differentiable pipeline (e.g. the whole numpy serving path:
+        forecast an episode, reduce to a diagnostic, wrap the scalar in
+        a Tensor) — which is exactly how the sensitivity endpoints are
+        validated end to end.
+    inputs: plain arrays; input ``index`` is perturbed elementwise (a
+        scalar parameter is just a 0-d/1-element array).
+    eps: central step.  See the module docstring for the
+        round-off/truncation trade-off when ``fn`` is float32 inside.
+
+    Returns
+    -------
+    An array of ``inputs[index]``'s shape: the finite-difference
+    estimate of ``d sum(fn) / d inputs[index]``.  Cost is two ``fn``
+    evaluations per element — perturb a low-dimensional parametrisation
+    (a slice, a direction, a parameter vector) rather than a full field
+    when ``fn`` is expensive.
     """
     base = [np.asarray(a, dtype=np.float64) for a in inputs]
     grad = np.zeros_like(base[index])

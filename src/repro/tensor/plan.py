@@ -873,6 +873,8 @@ def _unary(name, ufunc):
 
 
 _unary("neg", np.negative)
+_unary("sin", np.sin)
+_unary("cos", np.cos)
 _unary("exp", np.exp)
 _unary("log", np.log)
 _unary("sqrt", np.sqrt)

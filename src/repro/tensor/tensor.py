@@ -35,6 +35,7 @@ _trace_apply = _plan.trace_apply
 __all__ = [
     "Tensor",
     "no_grad",
+    "enable_grad",
     "is_grad_enabled",
     "set_grad_enabled",
     "unbroadcast",
@@ -61,6 +62,27 @@ def no_grad():
     """Context manager that disables graph construction (inference mode)."""
     prev = is_grad_enabled()
     set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(prev)
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager that (re-)enables graph construction.
+
+    The inverse of :func:`no_grad`, needed wherever a backward pass must
+    run on a thread whose ambient state is unknown — e.g. the serving
+    tier's gradient requests
+    (:meth:`~repro.workflow.engine.ForecastEngine.sensitivity_batch`)
+    execute on scheduler worker threads that otherwise serve pure
+    inference.  The switch is thread-local, so enabling gradients here
+    never flips a concurrent inference thread out of its fused no-grad
+    fast paths.
+    """
+    prev = is_grad_enabled()
+    set_grad_enabled(True)
     try:
         yield
     finally:
@@ -414,6 +436,28 @@ class Tensor:
         if out.requires_grad:
             def _bw(g):
                 self._accum(g * out_data)
+            out._backward = _bw
+        return out
+
+    def sin(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("sin", (self,))
+        out = self._make(np.sin(self.data), (self,))
+        if out.requires_grad:
+            cos_a = np.cos(self.data)
+            def _bw(g):
+                self._accum(g * cos_a)
+            out._backward = _bw
+        return out
+
+    def cos(self) -> "Tensor":
+        if _tracing():
+            return _trace_apply("cos", (self,))
+        out = self._make(np.cos(self.data), (self,))
+        if out.requires_grad:
+            neg_sin_a = -np.sin(self.data)
+            def _bw(g):
+                self._accum(g * neg_sin_a)
             out._backward = _bw
         return out
 

@@ -9,6 +9,12 @@ engine itself, a :class:`SurrogateForecaster`, a serving-side
 :class:`~repro.serve.pool.EngineWorkerPool` — slots into
 :class:`EnsembleForecaster` and :class:`HybridWorkflow` unchanged, so
 direct and served calls run one code path.
+
+The adjoint tier mirrors the protocol:
+``sensitivity_batch(windows, wrt=...) -> list[SensitivityResult]``
+differentiates scalar surge diagnostics with respect to input fields
+and storm-overlay parameters (see :mod:`~repro.workflow.sensitivity`
+and ``docs/differentiation.md``).
 """
 
 from .engine import CompiledForward, ForecastEngine
@@ -20,6 +26,14 @@ from .forecast import (
 )
 from .hybrid import EpisodeReport, HybridWorkflow, WorkflowReport
 from .ensemble import EnsembleForecast, EnsembleForecaster
+from .sensitivity import (
+    DIAGNOSTICS,
+    STORM_PARAMS,
+    GradientRequest,
+    SensitivityResult,
+    StormOverlay,
+    evaluate_diagnostic,
+)
 
 __all__ = [
     "CompiledForward",
@@ -33,4 +47,10 @@ __all__ = [
     "WorkflowReport",
     "EnsembleForecast",
     "EnsembleForecaster",
+    "DIAGNOSTICS",
+    "STORM_PARAMS",
+    "GradientRequest",
+    "SensitivityResult",
+    "StormOverlay",
+    "evaluate_diagnostic",
 ]

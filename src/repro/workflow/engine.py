@@ -23,10 +23,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..data.dataset import assemble_episode_input_batch
+from ..data.dataset import _rim_mask, assemble_episode_input_batch
 from ..data.preprocess import Normalizer, pad_mesh
 from ..swin.model import CoastalSurrogate
-from ..tensor import BufferArena, PlanExecutor, Tensor, no_grad
+from ..tensor import BufferArena, PlanExecutor, Tensor, enable_grad, no_grad
 from ..tensor import plan as _plan
 from ..tensor import plan_passes as _passes
 
@@ -209,6 +209,11 @@ class ForecastEngine:
         self._reduced: Dict[Tuple[int, ...], CompiledForward] = {}
         self._pass_stats: Dict[int, Dict[str, object]] = {}
         self._plan_lock = threading.Lock()
+        # serialises sensitivity_batch backward passes: the backward
+        # temporarily clears parameter requires_grad flags (a model-wide
+        # write), which concurrent forecast_batch calls never read (they
+        # run under no_grad) but concurrent backwards would race on
+        self._grad_lock = threading.Lock()
         self._arena = BufferArena()
         # counters below are written only under _plan_lock, at plan
         # lookup time, so hit/miss attribution is decided in the same
@@ -679,3 +684,187 @@ class ForecastEngine:
         return self._finalize(references, vol, zet, seconds,
                               compiled=compiled_fwd is not None,
                               plan_batch=plan_batch, reduced=reduced)
+
+    # ------------------------------------------------------------------
+    # adjoint / sensitivity path
+    # ------------------------------------------------------------------
+    def sensitivity_batch(self, references: Sequence[FieldWindow], *,
+                          wrt: Sequence[str] = ("fields",),
+                          diagnostic: str = "peak_surge",
+                          observations=None, storms=None):
+        """Differentiate a scalar diagnostic of N episodes' forecasts.
+
+        The adjoint counterpart of :meth:`forecast_batch`: runs one
+        grad-enabled batched forward through the same
+        :meth:`_prepare_inputs` staging (normalise → pad → rim-mask
+        assembly), reduces the predicted surge to a scalar diagnostic
+        per episode, and pulls the gradient back through the model
+        *and* the staging pipeline, so the returned sensitivities are
+        in physical units on the request mesh.
+
+        Parameters
+        ----------
+        references: reference windows, exactly as for
+            :meth:`forecast_batch`.
+        wrt: subset of ``("fields", "storm")``.  ``"fields"`` returns
+            ∂J/∂(input fields) as a :class:`FieldWindow` per episode;
+            ``"storm"`` additionally chains the field adjoint through a
+            differentiable storm overlay and returns ∂J/∂θ for every
+            :data:`~repro.workflow.sensitivity.STORM_PARAMS` entry.
+        diagnostic: a :data:`~repro.workflow.sensitivity.DIAGNOSTICS`
+            name, reduced over forecast steps 1..T−1 of the predicted
+            surge (slot 0 is the exactly-restored initial condition and
+            carries no model sensitivity).
+        observations: per-episode observed surge windows (T, H, W),
+            required by ``surge_mse``.
+        storms: per-episode
+            :class:`~repro.workflow.sensitivity.StormOverlay`
+            hypotheses (or ``None`` entries).  Each overlay is applied
+            to its reference window *before* the forward, so the storm
+            parameters sit upstream of normalisation and the reported
+            ∂J/∂θ is the true end-to-end sensitivity.
+
+        Returns
+        -------
+        One :class:`~repro.workflow.sensitivity.SensitivityResult` per
+        episode, in order.  ``backward_seconds`` is the batch's
+        forward+backward wall clock split evenly, mirroring
+        :class:`ForecastResult.inference_seconds`.
+
+        Notes
+        -----
+        The backward always runs the eager autograd graph — compiled
+        plans are forward-only (traced backward plans are roadmap
+        work, see ``docs/differentiation.md``) — and is serialised per
+        engine by an internal lock; concurrent :meth:`forecast_batch`
+        calls proceed untouched.  Every sensitivity exposed here is
+        validated against central finite differences
+        (:func:`repro.tensor.gradcheck.numerical_grad`) in
+        ``tests/test_sensitivity.py``.
+        """
+        from .sensitivity import (DIAGNOSTICS, STORM_PARAMS,
+                                  SensitivityResult)
+        from ..tensor import astensor
+
+        references = list(references)
+        if not references:
+            return []
+        n = len(references)
+        wrt = tuple(wrt)
+        bad = [w for w in wrt if w not in ("fields", "storm")]
+        if bad or not wrt:
+            raise ValueError(
+                f"wrt must be a non-empty subset of ('fields', 'storm'); "
+                f"got {wrt}")
+        if diagnostic not in DIAGNOSTICS:
+            raise ValueError(
+                f"unknown diagnostic {diagnostic!r}; expected one of "
+                f"{sorted(DIAGNOSTICS)}")
+        observations = list(observations) if observations is not None \
+            else [None] * n
+        storms = list(storms) if storms is not None else [None] * n
+        if len(observations) != n or len(storms) != n:
+            raise ValueError(
+                "observations/storms must match the reference batch")
+        if diagnostic == "surge_mse" and any(o is None for o in observations):
+            raise ValueError(
+                "diagnostic 'surge_mse' requires an observation per episode")
+        if "storm" in wrt and any(s is None for s in storms):
+            raise ValueError(
+                "wrt='storm' requires a StormOverlay per episode")
+
+        composed = [s.apply(r) if s is not None else r
+                    for r, s in zip(references, storms)]
+        x3d, x2d, (H, W) = self._prepare_inputs(composed)
+
+        eps = Normalizer.EPS
+        std_z = self.normalizer.std["zeta"] + eps
+        mean_z = self.normalizer.mean["zeta"]
+        obs_t = None
+        if diagnostic == "surge_mse":
+            obs_t = astensor(np.stack(
+                [np.asarray(o, dtype=np.float64) for o in observations]))
+
+        params = list(self.model.parameters())
+        with self._grad_lock:
+            # the diagnostic differentiates inputs, not weights — mask
+            # the parameters out of the tape so backward neither builds
+            # nor accumulates weight gradients (restored below; safe
+            # because forecast_batch runs under no_grad and never reads
+            # the flag, and this lock serialises sensitivity calls)
+            prev_flags = [p.requires_grad for p in params]
+            for p in params:
+                p.requires_grad = False
+            self.model.eval()
+            try:
+                t0 = time.perf_counter()
+                with enable_grad():
+                    t3 = Tensor(x3d, requires_grad=True)
+                    t2 = Tensor(x2d, requires_grad=True)
+                    _, p2d = self.model(t3, t2)
+                    # ζ head → (N, T, H', W') → denormalise → crop:
+                    # the in-graph mirror of _finalize's numpy epilogue
+                    z = p2d[:, 0].transpose(0, 3, 1, 2) \
+                        .astype(np.float64) * std_z + mean_z
+                    z = z[:, :, :H, :W]
+                    per = DIAGNOSTICS[diagnostic](z, obs_t)
+                    per.sum().backward()
+                seconds = time.perf_counter() - t0
+            finally:
+                for p, flag in zip(params, prev_flags):
+                    p.requires_grad = flag
+        values = np.asarray(per.data, dtype=np.float64).reshape(n)
+
+        # ---- analytic adjoint of assemble_episode_input_batch --------
+        g3 = np.asarray(t3.grad, dtype=np.float64)  # (N,3,H',W',D,T)
+        g2 = np.asarray(t2.grad, dtype=np.float64)  # (N,1,H',W',T)
+        ph, pw = self.pad_hw
+        mask = _rim_mask(ph, pw, self.boundary_width, np.float64)
+        gvol = np.moveaxis(g3, -1, 2)               # (N,3,T,H',W',D)
+        grad_vol = gvol * mask[:, :, None]
+        grad_vol[:, :, 0] = gvol[:, :, 0]           # IC slot: full fields
+        gz = np.moveaxis(g2, -1, 2)[:, 0]           # (N,T,H',W')
+        grad_zeta = gz * mask
+        grad_zeta[:, 0] = gz[:, 0]
+        # pad adjoint = crop; z-score adjoint = divide by (std + EPS)
+        d_u3 = grad_vol[:, 0, :, :H, :W] / (self.normalizer.std["u3"] + eps)
+        d_v3 = grad_vol[:, 1, :, :H, :W] / (self.normalizer.std["v3"] + eps)
+        d_w3 = grad_vol[:, 2, :, :H, :W] / (self.normalizer.std["w3"] + eps)
+        d_zeta = grad_zeta[:, :, :H, :W] / std_z
+
+        per_episode = seconds / n
+        results = []
+        for i in range(n):
+            d_fields = None
+            if "fields" in wrt:
+                d_fields = FieldWindow(
+                    np.ascontiguousarray(d_u3[i]),
+                    np.ascontiguousarray(d_v3[i]),
+                    np.ascontiguousarray(d_w3[i]),
+                    np.ascontiguousarray(d_zeta[i]))
+            d_storm = None
+            if "storm" in wrt:
+                # chain rule through the additive overlay: the composed
+                # window is reference + increments(θ), so ∂J/∂θ is the
+                # field adjoint contracted with ∂increments/∂θ — one
+                # small vector-Jacobian product per episode
+                storm = storms[i]
+                T = self.time_steps
+                D = references[i].u3.shape[-1]
+                with enable_grad():
+                    theta = storm.tensor_params(requires_grad=True)
+                    du3, dv3, dz = storm.increments(theta, T, (H, W), D)
+                    proxy = (du3 * astensor(d_u3[i])).sum() \
+                        + (dv3 * astensor(d_v3[i])).sum() \
+                        + (dz * astensor(d_zeta[i])).sum()
+                    proxy.backward()
+                d_storm = {
+                    name: float(theta[name].grad)
+                    if theta[name].grad is not None else 0.0
+                    for name in STORM_PARAMS
+                }
+            results.append(SensitivityResult(
+                value=float(values[i]), diagnostic=diagnostic, wrt=wrt,
+                d_fields=d_fields, d_storm=d_storm,
+                backward_seconds=per_episode))
+        return results
